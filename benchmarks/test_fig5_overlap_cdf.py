@@ -1,0 +1,17 @@
+"""Fig. 5 — Compute-operation fingerprint overlap CDF."""
+
+from repro.evaluation import fig5
+
+
+def test_regenerate_fig5(character, save_result):
+    series = fig5.run(character)
+    save_result("fig5", fig5.format_report(series, character))
+    # Shape: instance operations are substantially unique vs the
+    # storage/image/misc categories, and nothing subsumes them.
+    assert max(series["all"]) < 0.5
+    assert fig5.paper_scale_projection(character, series) > 0.85
+
+
+def test_overlap_computation_cost(benchmark, character):
+    result = benchmark(fig5.run, character)
+    assert result["all"]

@@ -1,0 +1,36 @@
+"""Fig. 7a — precision θ across the concurrency × fault grid."""
+
+from conftest import full_scale
+
+from repro.evaluation import fig7
+
+
+def test_regenerate_fig7a(character, save_result):
+    if full_scale():
+        cells = fig7.run_fig7a(character)
+    else:
+        cells = fig7.run_fig7a(
+            character, concurrencies=(100, 200), fault_counts=(1, 8),
+            seeds=(3,),
+        )
+    save_result("fig7a", fig7.format_fig7a(cells))
+    thetas = [cell.theta for cell in cells if cell.reports]
+    assert thetas
+    # The paper's headline: precision above 98% in every scenario.
+    assert min(thetas) > 0.96
+    assert sum(thetas) / len(thetas) > 0.975
+
+
+def test_detection_cost_per_fault(benchmark, character):
+    """Wall-clock cost of one full Algorithm-2 + Algorithm-3 pass."""
+    from repro.core.config import GretelConfig
+    from repro.evaluation.common import run_fault_workload
+
+    def one_run():
+        return run_fault_workload(
+            concurrency=50, n_faults=1, character=character, seed=13,
+            config=GretelConfig(p_rate=650.0),
+        )
+
+    stats = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    assert stats.injected == 1

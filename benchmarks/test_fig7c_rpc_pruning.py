@@ -1,0 +1,17 @@
+"""Fig. 7c — fingerprint matching with vs without RPC symbols."""
+
+from conftest import full_scale
+
+from repro.evaluation import fig7
+
+
+def test_regenerate_fig7c(character, save_result):
+    seeds = (3, 4, 5) if full_scale() else (3,)
+    cells = fig7.run_fig7c(character, seeds=seeds)
+    save_result("fig7c", fig7.format_fig7c(cells))
+    without = cells["without_rpcs"]
+    with_rpcs = cells["with_rpcs"]
+    # The paper: including RPCs improves precision only marginally —
+    # both variants land in the same precision regime.
+    assert abs(without.theta - with_rpcs.theta) < 0.03
+    assert without.theta > 0.95

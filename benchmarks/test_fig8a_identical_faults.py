@@ -1,0 +1,18 @@
+"""Fig. 8a — 16 identical concurrent faulty operations."""
+
+from conftest import full_scale
+
+from repro.evaluation import fig8a
+
+
+def test_regenerate_fig8a(character, save_result):
+    if full_scale():
+        points = fig8a.run(character)
+    else:
+        points = fig8a.run(character, concurrencies=(100, 300), seeds=(3,))
+    save_result("fig8a", fig8a.format_report(points))
+    assert all(point.reports for point in points)
+    # The paper's trend: more concurrency does not blow the match set
+    # up — the richer context keeps it flat or shrinking.
+    assert points[-1].matched_mean <= points[0].matched_mean * 1.5
+    assert all(point.theta > 0.9 for point in points)

@@ -1,0 +1,19 @@
+"""Fig. 8b — performance alarms under injected Glance latency."""
+
+from conftest import full_scale
+
+from repro.evaluation import fig8b
+
+
+def test_regenerate_fig8b(character, save_result):
+    if full_scale():
+        result = fig8b.run(character, concurrency=200, duration=80.0)
+    else:
+        result = fig8b.run(character, concurrency=100, duration=50.0)
+    save_result("fig8b", fig8b.format_report(result))
+    # The figure's shape: the LS detector alarms during the injection
+    # window and adapts rather than re-alarming continuously.
+    assert result.alarms_in_window >= 1
+    assert result.alarms_in_window <= 25
+    # Performance-fault reports flow from the alarms.
+    assert result.reports

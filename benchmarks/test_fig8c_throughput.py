@@ -1,0 +1,62 @@
+"""Fig. 8c — analyzer throughput vs fault frequency, GRETEL vs HANSEL."""
+
+from conftest import full_scale
+
+from repro.evaluation import fig8c
+
+
+def test_regenerate_fig8c(character, save_result):
+    if full_scale():
+        points = fig8c.run(character, events_per_point=60_000)
+    else:
+        points = fig8c.run(character, fault_frequencies=(100, 500, 2000),
+                           events_per_point=25_000)
+    save_result("fig8c", fig8c.format_report(points))
+    frequent, rare = points[0], points[-1]
+    # Shape 1: throughput rises as faults get rarer.
+    assert rare.gretel_effective_eps > frequent.gretel_effective_eps * 1.5
+    # Shape 2: the ingest path sustains tens of thousands of events/s.
+    assert rare.gretel_ingest_eps > 10_000
+    # Shape 3: GRETEL ingest is an order of magnitude beyond HANSEL's
+    # per-message stitching.
+    assert rare.gretel_ingest_eps > rare.hansel_eps * 5
+
+
+def test_event_receiver_cost(benchmark, character):
+    """Per-event cost of the GRETEL receiver on a clean stream."""
+    from repro.core.analyzer import GretelAnalyzer
+    from repro.core.config import GretelConfig
+    from repro.workloads.traffic import SyntheticStream
+
+    stream = SyntheticStream(character.library, character.library.symbols,
+                             fault_every=10**9)
+    events = stream.events(5_000)
+
+    def feed():
+        analyzer = GretelAnalyzer(
+            character.library, config=GretelConfig(p_rate=50_000.0),
+            track_latency=False, defer_detection=True,
+        )
+        analyzer.feed(events)
+        return analyzer
+
+    analyzer = benchmark(feed)
+    assert analyzer.events_processed == 5_000
+
+
+def test_hansel_stitching_cost(benchmark, character):
+    """Per-event cost of HANSEL's per-message stitching."""
+    from repro.baselines.hansel import HanselAnalyzer
+    from repro.workloads.traffic import SyntheticStream
+
+    stream = SyntheticStream(character.library, character.library.symbols,
+                             fault_every=10**9)
+    events = stream.events(5_000)
+
+    def feed():
+        hansel = HanselAnalyzer()
+        hansel.feed(events)
+        return hansel
+
+    hansel = benchmark(feed)
+    assert hansel.events_processed == 5_000

@@ -1,0 +1,80 @@
+"""Micro-benchmarks of GRETEL's hot paths."""
+
+from repro.openstack.catalog import default_catalog
+from repro.core.fingerprint import (
+    filter_noise,
+    longest_common_subsequence,
+    prefix_lcs_lengths,
+)
+from repro.core.window import SlidingWindow
+
+
+def test_sliding_window_append(benchmark, character):
+    """Per-event cost of the dual-buffer window (the receiver's core)."""
+    from repro.workloads.traffic import SyntheticStream
+
+    stream = SyntheticStream(character.library, character.library.symbols,
+                             fault_every=10**9)
+    events = stream.events(2000)
+
+    def run():
+        window = SlidingWindow(alpha=768)
+        for event in events:
+            window.append(event)
+        return window
+
+    window = benchmark(run)
+    assert len(window) == 768
+
+
+def test_noise_filter(benchmark, character):
+    catalog = default_catalog()
+    symbols = character.library.symbols
+    fingerprint = max(character.library, key=len)
+    trace = symbols.decode(fingerprint.symbols) * 5
+
+    result = benchmark(filter_noise, trace, catalog)
+    assert result
+
+
+def test_lcs(benchmark, character):
+    symbols = character.library.symbols
+    fingerprint = max(character.library, key=len)
+    a = symbols.decode(fingerprint.symbols)
+    b = a[1:] + a[:1]
+
+    result = benchmark(longest_common_subsequence, a, b)
+    assert len(result) >= len(a) - 2
+
+
+def test_prefix_lcs(benchmark, character):
+    fingerprint = max(character.library, key=len)
+    needle = fingerprint.state_change_symbols
+    haystack = fingerprint.symbols * 10
+
+    lengths = benchmark(prefix_lcs_lengths, needle, haystack)
+    assert lengths[-1] == len(needle)
+
+
+def test_operation_detection(benchmark, character):
+    """One full Algorithm-2 pass on a realistic snapshot."""
+    from repro.core.config import GretelConfig
+    from repro.core.detector import OperationDetector
+    from repro.core.symbols import SymbolTable
+    from repro.core.window import Snapshot
+    from repro.workloads.traffic import SyntheticStream
+
+    catalog = default_catalog()
+    stream = SyntheticStream(character.library, character.library.symbols,
+                             fault_every=700, seed=3)
+    events = stream.events(1500)
+    fault = next(e for e in events if e.error)
+    snapshot = Snapshot(fault=fault, events=events[:1400],
+                        fault_index=events.index(fault))
+    detector = OperationDetector(
+        character.library, character.library.symbols, catalog,
+        GretelConfig(p_rate=1300.0),
+    )
+
+    result = benchmark(detector.detect, snapshot)
+    assert result.candidates > 0

@@ -1,0 +1,14 @@
+"""§7.4.2 — analyzer CPU share and memory under 100 parallel tests."""
+
+from repro.evaluation import overhead
+
+
+def test_regenerate_overhead(character, save_result):
+    result = overhead.run(character, concurrency=100)
+    save_result("overhead", overhead.format_report(result))
+    assert result.events_processed > 500
+    # Shape: at the paper's real-time event rate the analyzer is a few
+    # percent of one core, and its footprint stays modest
+    # (paper: ~4.3% CPU, ~123 MB).
+    assert result.projected_share() < 0.10
+    assert result.peak_memory_mb < 500

@@ -1,0 +1,32 @@
+"""Table 1 — suite characterization, plus fingerprint-generation cost."""
+
+from repro.openstack.catalog import default_catalog
+from repro.core.fingerprint import generate_fingerprint
+from repro.core.symbols import SymbolTable
+from repro.evaluation import table1
+
+
+def test_regenerate_table1(character, save_result):
+    rows = table1.run(character)
+    save_result("table1", table1.format_report(rows))
+    by_category = {r["category"]: r for r in rows}
+    assert by_category["total"]["tests"] == 1200
+    # Shape: Compute dominates tests, events and fingerprint size.
+    for other in ("image", "network", "storage", "misc"):
+        assert (by_category["compute"]["avg_fp_with_rpc"]
+                > by_category[other]["avg_fp_with_rpc"])
+
+
+def test_fingerprint_generation_cost(benchmark, character):
+    """Cost of Algorithm 1 on a Compute-scale pair of traces."""
+    catalog = default_catalog()
+    symbols = character.library.symbols
+    fingerprint = max(character.library, key=len)
+    trace = symbols.decode(fingerprint.symbols)
+
+    def generate():
+        return generate_fingerprint("bench", [trace, trace[1:] + trace[:1]],
+                                    symbols, catalog)
+
+    result = benchmark(generate)
+    assert len(result) > 0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""§7.2.1 / §7.2.4 — root causes hiding in dependencies, not services.
+
+Two scenarios where the component reporting the error is *not* where
+the problem lives:
+
+* image uploads fail with **413 Request Entity Too Large** — the real
+  cause is a nearly-full disk on the Glance node (§7.2.1);
+* ``cinder list`` fails with "Unable to establish connection to
+  Keystone" and the wire shows **401 Unauthorized** from Keystone —
+  the real cause is a stopped NTP daemon on the *Cinder* node skewing
+  token timestamps (§7.2.4).
+
+Run:  python examples/dependency_failures.py
+"""
+
+from repro.evaluation import case_studies
+from repro.evaluation.common import default_characterization
+
+
+def main() -> None:
+    character = default_characterization()
+
+    print("=== Scenario A: failed image uploads (§7.2.1) ===")
+    result = case_studies.failed_image_upload(character)
+    print(result.summary())
+    for report in result.reports:
+        print(f"  wire: {report.fault_event.method} {report.fault_event.name} "
+              f"-> {report.fault_event.status}")
+        for cause in report.root_causes:
+            print(f"  root cause: {cause}")
+
+    print("\n=== Scenario B: NTP failure breaks authentication (§7.2.4) ===")
+    result = case_studies.ntp_failure(character)
+    print(result.summary())
+    for report in result.reports:
+        print(f"  wire: {report.fault_event.src_service} -> "
+              f"{report.fault_event.dst_service} "
+              f"{report.fault_event.name} [{report.fault_event.status}]")
+        for cause in report.root_causes:
+            print(f"  root cause: {cause}")
+
+    print("\nIn both cases the failing API belongs to a healthy service; "
+          "GRETEL's metadata search (Algorithm 3) walks from the error "
+          "nodes to the dependency actually at fault.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Operator workflow: fold fault-report cascades into exportable incidents.
+
+One broken dependency typically produces a *cascade* of error messages
+(the paper's §7.2.4: a 401 from Keystone plus the 503 the blocked
+service answers).  GRETEL emits one report per REST error; the
+:class:`repro.IncidentAggregator` extension folds them into one
+incident per underlying problem and exports operator-ready JSON.
+
+This demo breaks two independent things in sequence — NTP on the
+Cinder node, then (after repairing it) the disk on the Glance node —
+and shows each burst of cascading reports collapsing into one incident
+per underlying problem, exported as operator-ready JSON.
+
+Run:  python examples/incident_export.py
+"""
+
+import random
+
+from repro import IncidentAggregator, WorkloadRunner
+from repro.evaluation.common import (
+    default_characterization,
+    default_suite,
+    make_monitored_analyzer,
+)
+
+
+def main() -> None:
+    character = default_characterization()
+    suite = default_suite()
+    cloud, plane, analyzer = make_monitored_analyzer(character, seed=88)
+    runner = WorkloadRunner(cloud)
+    rng = random.Random(2)
+
+    print("Phase 1: stopping NTP on cinder-node (clock skew -> 401s)")
+    cloud.faults.crash_process("cinder-node", "ntp")
+    tests = [next(t for t in suite.tests
+                  if t.name.startswith("storage.queries"))] + suite.sample(8, rng)
+    outcomes = runner.run_concurrent(tests, stagger=0.05, settle=2.0)
+    failed = sum(1 for o in outcomes if not o.ok)
+    print(f"  {failed} operations failed")
+
+    print("Phase 2: NTP repaired; now the glance-node disk fills up")
+    cloud.faults.restart_process("cinder-node", "ntp")
+    cloud.settle(30.0)  # quiet gap between the two incidents
+    cloud.faults.fill_disk("glance-node", leave_free_gb=5.5)
+    upload = next(t for t in suite.tests
+                  if t.name.startswith("image.upload")
+                  and t.variant.get("size_gb") == 2.0)
+    outcomes = runner.run_concurrent([upload] + suite.sample(4, rng),
+                                     stagger=0.05, settle=2.0)
+    failed = sum(1 for o in outcomes if not o.ok)
+    print(f"  {failed} operations failed")
+    analyzer.flush()
+    print(f"\nGRETEL raised {len(analyzer.reports)} fault reports in total\n")
+
+    aggregator = IncidentAggregator(window=10.0)
+    aggregator.add_all(analyzer.reports)
+    for incident in aggregator.incidents:
+        print(incident.summary())
+
+    path = "/tmp/gretel-incidents.json"
+    aggregator.export_json(path)
+    print(f"\nExported {len(aggregator.incidents)} incident(s) to {path}")
+
+
+if __name__ == "__main__":
+    main()

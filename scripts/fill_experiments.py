@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from the rendered results files.
+
+EXPERIMENTS.md embeds each experiment's rendered output verbatim; this
+helper replaces ``{{NAME}}`` markers with ``results/<file>.txt`` so the
+document can be refreshed after every full benchmark run:
+
+    GRETEL_EVAL_SCALE=full pytest benchmarks/ -q
+    python scripts/fill_experiments.py
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS = os.path.join(ROOT, "results")
+TARGET = os.path.join(ROOT, "EXPERIMENTS.md")
+
+PLACEHOLDERS = {
+    "TABLE1": "table1.txt",
+    "FIG5": "fig5.txt",
+    "FIG6": "fig6.txt",
+    "FIG7A": "fig7a.txt",
+    "FIG7B": "fig7b.txt",
+    "FIG7C": "fig7c.txt",
+    "FIG8A": "fig8a.txt",
+    "FIG8B": "fig8b.txt",
+    "FIG8C": "fig8c.txt",
+    "OVERHEAD": "overhead.txt",
+    "HANSEL": "hansel_comparison.txt",
+    "ABLATION_TRUNCATION": "ablation_truncation.txt",
+    "ABLATION_RELAXED": "ablation_relaxed_match.txt",
+    "ABLATION_CONTEXT": "ablation_context_buffer.txt",
+    "ABLATION_NOISE": "ablation_noise_filter.txt",
+    "ABLATION_DETECTOR": "ablation_detector_choice.txt",
+    "CORRELATION": "extension_correlation_ids.txt",
+}
+
+
+def main() -> int:
+    with open(TARGET, encoding="utf-8") as handle:
+        text = handle.read()
+    missing = []
+    for marker, filename in PLACEHOLDERS.items():
+        token = "{{" + marker + "}}"
+        if token not in text:
+            continue
+        path = os.path.join(RESULTS, filename)
+        if not os.path.exists(path):
+            missing.append(filename)
+            continue
+        with open(path, encoding="utf-8") as handle:
+            content = handle.read().rstrip()
+        text = text.replace(token, content)
+    leftover = re.findall(r"\{\{[A-Z0-9_]+\}\}", text)
+    with open(TARGET, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    if missing:
+        print(f"missing results files: {missing}", file=sys.stderr)
+    if leftover:
+        print(f"unresolved placeholders: {leftover}", file=sys.stderr)
+    print("EXPERIMENTS.md updated")
+    return 1 if (missing or leftover) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.hansel` — HANSEL (CoNEXT'15), the paper's main
+  comparator: payload-identifier stitching on every message with 30 s
+  time buckets;
+* :mod:`repro.baselines.loganalysis` — log collection and grep, the
+  operator's default, with log-level sensitivity and collation delay.
+"""
+
+from repro.baselines.hansel import HanselAnalyzer, HanselReport
+from repro.baselines.loganalysis import LogAnalysisBaseline, LogRecord
+
+__all__ = [
+    "HanselAnalyzer",
+    "HanselReport",
+    "LogAnalysisBaseline",
+    "LogRecord",
+]

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``characterize``
+    Run the offline fingerprinting pipeline (§7.1) and print Table-1
+    statistics.
+``demo <scenario>``
+    Reproduce one of the paper's case studies end to end and print the
+    diagnosis (§3.1, §7.2).
+``evaluate <experiment>``
+    Regenerate one table/figure of §7 and print it.
+``suite``
+    Describe the generated Tempest-like suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.evaluation import case_studies
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.evaluation import table1
+    from repro.evaluation.common import default_characterization
+
+    character = default_characterization(
+        seed=args.seed, iterations=args.iterations,
+        use_disk_cache=not args.no_cache,
+    )
+    print(table1.format_report(character.table1_rows()))
+    print(f"\nlargest fingerprint (FP_max): {character.fp_max} APIs")
+    print(f"failed tests during characterization: {len(character.failed_tests)}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.evaluation.common import default_suite
+
+    suite = default_suite(args.seed)
+    print(f"{len(suite)} tests")
+    by_category = Counter(t.category for t in suite.tests)
+    for category, count in sorted(by_category.items()):
+        print(f"  {category:10s} {count}")
+    by_template = Counter(t.template.name for t in suite.tests)
+    print(f"{len(by_template)} operation templates; the 5 most used:")
+    for name, count in by_template.most_common(5):
+        print(f"  {name:35s} {count}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.evaluation.common import default_characterization
+
+    scenarios = {
+        study.__name__: study for study in case_studies.ALL_CASE_STUDIES
+    }
+    if args.scenario == "all":
+        selected = list(scenarios.values())
+    elif args.scenario in scenarios:
+        selected = [scenarios[args.scenario]]
+    else:
+        print(f"unknown scenario {args.scenario!r}; choose from: "
+              f"{', '.join(scenarios)} or 'all'", file=sys.stderr)
+        return 2
+
+    character = default_characterization()
+    failures = 0
+    for study in selected:
+        result = study(character)
+        print(result.summary())
+        for report in result.reports[:3]:
+            print(f"    {report.summary()}")
+        failures += 0 if result.diagnosis_correct else 1
+    return 1 if failures else 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluation import (
+        fig5, fig6, fig7, fig8a, fig8b, fig8c, hansel_comparison, overhead,
+        table1,
+    )
+    from repro.evaluation.common import default_characterization
+
+    character = default_characterization()
+    name = args.experiment
+    if name == "table1":
+        print(table1.format_report(table1.run(character)))
+    elif name == "fig5":
+        print(fig5.format_report(fig5.run(character), character))
+    elif name == "fig6":
+        print(fig6.format_report(fig6.run(character)))
+    elif name == "fig7a":
+        print(fig7.format_fig7a(fig7.run_fig7a(character)))
+    elif name == "fig7b":
+        print(fig7.format_fig7b(fig7.run_fig7b(character)))
+    elif name == "fig7c":
+        print(fig7.format_fig7c(fig7.run_fig7c(character)))
+    elif name == "fig8a":
+        print(fig8a.format_report(fig8a.run(character)))
+    elif name == "fig8b":
+        print(fig8b.format_report(fig8b.run(character)))
+    elif name == "fig8c":
+        print(fig8c.format_report(fig8c.run(character)))
+    elif name == "overhead":
+        print(overhead.format_report(overhead.run(character)))
+    elif name == "hansel":
+        print(hansel_comparison.format_report(hansel_comparison.run(character)))
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+EXPERIMENTS = ("table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c",
+               "fig8a", "fig8b", "fig8c", "overhead", "hansel")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRETEL (CoNEXT'16) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    characterize = sub.add_parser(
+        "characterize", help="run offline fingerprinting and print Table 1"
+    )
+    characterize.add_argument("--seed", type=int, default=0)
+    characterize.add_argument("--iterations", type=int, default=2)
+    characterize.add_argument("--no-cache", action="store_true")
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    suite = sub.add_parser("suite", help="describe the generated test suite")
+    suite.add_argument("--seed", type=int, default=0)
+    suite.set_defaults(handler=_cmd_suite)
+
+    demo = sub.add_parser("demo", help="run a case-study scenario")
+    demo.add_argument(
+        "scenario",
+        help=("one of: "
+              + ", ".join(s.__name__ for s in case_studies.ALL_CASE_STUDIES)
+              + ", all"),
+    )
+    demo.set_defaults(handler=_cmd_demo)
+
+    evaluate = sub.add_parser("evaluate", help="regenerate a table/figure")
+    evaluate.add_argument("experiment", choices=EXPERIMENTS)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001 - best-effort close
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

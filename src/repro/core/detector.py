@@ -1,0 +1,429 @@
+"""Operation detection (Algorithm 2) with the adaptive context buffer.
+
+Given a frozen snapshot and the offending API, GRETEL:
+
+1. collects the operations whose fingerprints *contain* the offending
+   symbol (``GET_POSSIBLE_OFFENDING_OPERATIONS``);
+2. truncates each fingerprint at the offending symbol
+   (``TRUNCATE_OPERATION_FINGERPRINTS``) — for operational errors the
+   operation never ran past the failure, so only the prefix can be in
+   the snapshot.  The paper truncates at the *last* occurrence; when
+   the offending API is a repeated read (a status-poll GET appears
+   both mid-operation and during teardown), that single cut point
+   would keep steps that never executed, so this implementation
+   considers **every** occurrence as a cut point and scores the best;
+3. scores each truncated fingerprint against a **context buffer** —
+   a window β = c1·α centered on the fault, grown by δ = c2·α per
+   side per iteration, stopping as soon as the precision θ drops or
+   the buffer covers the whole snapshot (§5.3.1).
+
+Match semantics: the paper's relaxed match requires the buffer to
+preserve the order of the fingerprint's state-change symbols while
+tolerating absent ones (Fig. 4 matches with symbol A missing).  We
+therefore score **order-consistent coverage** — the LCS between the
+truncated fingerprint's state-change symbols and the buffer, as a
+fraction of the fingerprint — and accept candidates above
+``match_coverage``, then keep only those within
+``completeness_tolerance`` of the best coverage (the snapshot-driven
+pruning that keeps GRETEL's false positives low, §7.3).
+
+Pure-read fingerprints (no state-change symbol at all) are scored on
+their full symbol sequence instead: under the paper's literal
+``read*`` regexes they would vacuously match every snapshot.
+
+RPC symbols are pruned from fingerprints and buffer when
+``prune_rpcs`` is on (§6's optimization, Fig. 7c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.catalog import ApiCatalog
+from repro.openstack.wire import WireEvent
+from repro.core.config import GretelConfig
+from repro.core.fingerprint import Fingerprint, FingerprintLibrary, prefix_lcs_lengths
+from repro.core.precision import theta
+from repro.core.symbols import SymbolTable
+from repro.core.window import Snapshot
+
+#: Cap on how many truncation points are tried per fingerprint.
+_MAX_TRUNCATIONS = 6
+
+
+import re as _re
+
+
+@dataclass
+class _Candidate:
+    """One possible offending operation, prepared for scoring."""
+
+    original: Fingerprint
+    #: State-change symbols of the longest considered truncation.
+    sc_symbols: str
+    #: Prefix lengths (into ``sc_symbols``) for each truncation point,
+    #: ascending; the last entry is ``len(sc_symbols)``.
+    cut_lengths: List[int]
+    #: Full symbol string of the longest truncation (for pure reads).
+    full_symbols: str
+    pure_read: bool
+    alphabet: FrozenSet[str] = field(default_factory=frozenset)
+    _foreign: Optional["_re.Pattern"] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        source = self.full_symbols if self.pure_read else self.sc_symbols
+        self.alphabet = frozenset(source)
+        if source:
+            # C-speed removal of symbols outside the candidate's
+            # alphabet before the (Python-level) LCS.
+            self._foreign = _re.compile(
+                "[^" + _re.escape("".join(sorted(self.alphabet))) + "]+"
+            )
+
+    def upper_bound(self, buffer_alphabet: FrozenSet[str]) -> float:
+        """Cheap coverage upper bound from symbol-set intersection."""
+        source = self.full_symbols if self.pure_read else self.sc_symbols
+        if not source:
+            return 0.0
+        missing = sum(1 for c in source if c not in buffer_alphabet)
+        return (len(source) - missing) / len(source)
+
+    def score(self, buffer_symbols: str) -> Tuple[int, float]:
+        """Best (corroborated length, coverage) over truncation points.
+
+        The corroborated length is the LCS between the truncated
+        fingerprint and the buffer — how many of the operation's
+        ordered symbols the buffer actually witnesses.
+        """
+        if self._foreign is not None:
+            buffer_symbols = self._foreign.sub("", buffer_symbols)
+        if self.pure_read:
+            lengths = prefix_lcs_lengths(self.full_symbols, buffer_symbols)
+            total = max(1, len(self.full_symbols))
+            return lengths[-1], lengths[-1] / total
+        lengths = prefix_lcs_lengths(self.sc_symbols, buffer_symbols)
+        best: Tuple[int, float] = (0, 0.0)
+        for cut in self.cut_lengths:
+            if cut <= 0:
+                continue
+            candidate = (lengths[cut], lengths[cut] / cut)
+            # Prefer the cut with the highest coverage, then length:
+            # a fully-covered shorter cut beats a diluted longer one.
+            if (candidate[1], candidate[0]) > (best[1], best[0]):
+                best = candidate
+        return best
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of operation detection for one fault."""
+
+    fault: WireEvent
+    matched: List[Fingerprint]
+    candidates: int              # ops containing the offending API
+    theta: float
+    beta_used: int               # final context-buffer radius (messages)
+    iterations: int
+    window_span: Tuple[float, float]  # time range of the context buffer
+    matched_events: List[WireEvent] = field(default_factory=list)
+    coverages: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def operations(self) -> List[str]:
+        """Names of the matched operations."""
+        return [fp.operation for fp in self.matched]
+
+    @property
+    def narrowed_to_one(self) -> bool:
+        """True when exactly one operation matched."""
+        return len(self.matched) == 1
+
+
+class OperationDetector:
+    """Algorithm 2 over a fingerprint library."""
+
+    def __init__(
+        self,
+        library: FingerprintLibrary,
+        symbols: SymbolTable,
+        catalog: ApiCatalog,
+        config: Optional[GretelConfig] = None,
+    ):
+        self.library = library
+        self.symbols = symbols
+        self.catalog = catalog
+        self.config = config or GretelConfig()
+        self._rest_only_cache: Dict[str, Fingerprint] = {}
+        self._candidate_cache: Dict[Tuple[str, bool], List[_Candidate]] = {}
+        self.detections = 0
+
+    # -- candidate preparation ------------------------------------------------
+
+    def _effective(self, fingerprint: Fingerprint) -> Fingerprint:
+        """Apply RPC pruning when configured."""
+        if not self.config.prune_rpcs:
+            return fingerprint
+        cached = self._rest_only_cache.get(fingerprint.operation)
+        if cached is None:
+            cached = fingerprint.rest_only(self.symbols)
+            self._rest_only_cache[fingerprint.operation] = cached
+        return cached
+
+    def candidates_for(self, api_key: str, *,
+                       truncate: bool = True) -> List["_Candidate"]:
+        """Possible offending operations with truncation cut points."""
+        cache_key = (api_key, truncate)
+        cached = self._candidate_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        symbol = self.symbols.symbol(api_key)
+        prepared: List[_Candidate] = []
+        for fingerprint in self.library.ops_containing(symbol):
+            effective = self._effective(fingerprint)
+            if symbol not in effective.symbols:
+                # Pruning removed the offending symbol (an RPC): fall
+                # back to the unpruned fingerprint for this candidate.
+                effective = fingerprint
+            truncate_here = truncate and self.config.truncate_fingerprints
+            if truncate_here:
+                longest = effective.truncate_at(symbol)
+            else:
+                longest = effective
+            if self.config.relaxed_match:
+                required_symbols = longest.state_change_symbols
+            else:
+                # Strict ablation: every symbol (reads included) is a
+                # required literal.
+                required_symbols = longest.symbols
+            if truncate_here:
+                cut_lengths = self._cut_lengths(
+                    longest, symbol, all_symbols=not self.config.relaxed_match
+                )
+            else:
+                cut_lengths = [len(required_symbols)]
+            prepared.append(_Candidate(
+                original=fingerprint,
+                sc_symbols=required_symbols,
+                cut_lengths=cut_lengths,
+                full_symbols=longest.symbols,
+                pure_read=not required_symbols,
+            ))
+        self._candidate_cache[cache_key] = prepared
+        return prepared
+
+    @staticmethod
+    def _cut_lengths(fingerprint: Fingerprint, symbol: str,
+                     all_symbols: bool = False) -> List[int]:
+        """Required-symbol prefix lengths at each occurrence of
+        ``symbol`` (state-change prefix by default; every symbol in the
+        strict ablation)."""
+        cuts: List[int] = []
+        count = 0
+        for sym, is_sc in zip(fingerprint.symbols, fingerprint.state_change_mask):
+            if all_symbols or is_sc:
+                count += 1
+            if sym == symbol:
+                if not cuts or cuts[-1] != count:
+                    cuts.append(count)
+        cuts = [c for c in cuts if c > 0]
+        if not cuts:
+            total = (len(fingerprint.symbols) if all_symbols
+                     else len(fingerprint.state_change_symbols))
+            cuts = [total]
+        return cuts[-_MAX_TRUNCATIONS:]
+
+    # -- buffer encoding ----------------------------------------------------------
+
+    def _encode_events(self, events: Sequence[WireEvent],
+                       correlation_id: str = "") -> str:
+        """Snapshot window → symbol string (noise always excluded;
+        RPCs excluded under pruning).
+
+        With ``correlation_id`` set (the §5.3.1 future-work mode), only
+        messages carrying the offending message's correlation header
+        are matched — "reducing the number of packets against which a
+        fingerprint is matched".
+        """
+        prune = self.config.prune_rpcs
+        parts = []
+        for event in events:
+            if event.noise:
+                continue
+            if prune and event.kind is ApiKind.RPC:
+                continue
+            if correlation_id and event.request_id != correlation_id:
+                continue
+            parts.append(self.symbols.symbol(event.api_key))
+        return "".join(parts)
+
+    # -- scoring --------------------------------------------------------------------
+
+    def _score(self, candidates: List[_Candidate],
+               buffer_symbols: str,
+               finalized: Optional[Dict[int, Tuple[int, float]]] = None,
+               ) -> Dict[int, Tuple[int, float]]:
+        """(corroborated length, coverage) per gated candidate index.
+
+        ``finalized`` carries scores already at full coverage from a
+        smaller buffer: coverage is monotone in buffer growth, so they
+        need no re-evaluation.
+        """
+        threshold = self.config.match_coverage
+        buffer_alphabet = frozenset(buffer_symbols)
+        scores: Dict[int, Tuple[int, float]] = {}
+        strict = not self.config.relaxed_match
+        for index, candidate in enumerate(candidates):
+            if finalized and index in finalized:
+                scores[index] = finalized[index]
+                continue
+            required = 0.999 if (candidate.pure_read or strict) else threshold
+            if candidate.upper_bound(buffer_alphabet) < required:
+                continue
+            length, coverage = candidate.score(buffer_symbols)
+            if coverage >= required:
+                scores[index] = (length, coverage)
+                # A candidate is final only once its *longest* cut is
+                # fully corroborated — shorter cuts at coverage 1.0
+                # could still be overtaken by a longer cut as the
+                # buffer grows.
+                max_length = (len(candidate.full_symbols) if candidate.pure_read
+                              else candidate.cut_lengths[-1])
+                if (coverage >= 0.999 and length >= max_length
+                        and finalized is not None):
+                    finalized[index] = (length, coverage)
+        return scores
+
+    def _rank(self, candidates: List[_Candidate],
+              scores: Dict[int, Tuple[int, float]]) -> List[int]:
+        """Keep candidates whose corroborated length is near the best.
+
+        State-change evidence outranks read-only evidence: pure-read
+        candidates are considered only when no state-change candidate
+        survived the gate.
+        """
+        if not scores:
+            return []
+        sc_indexes = [i for i in scores if not candidates[i].pure_read]
+        pool = sc_indexes or list(scores)
+        best_length = max(scores[i][0] for i in pool)
+        floor = best_length - self.config.length_tolerance
+        return sorted(i for i in pool if scores[i][0] >= floor)
+
+    # -- Algorithm 2 ---------------------------------------------------------------
+
+    def detect(self, snapshot: Snapshot, *,
+               performance_fault: bool = False) -> DetectionResult:
+        """Run operation detection on one frozen snapshot."""
+        self.detections += 1
+        fault = snapshot.fault
+        config = self.config
+        candidates = self.candidates_for(
+            fault.api_key, truncate=not performance_fault
+        )
+        total = max(len(self.library), 2)
+
+        if not candidates:
+            return DetectionResult(
+                fault=fault, matched=[], candidates=0,
+                theta=theta(total, 0), beta_used=0, iterations=0,
+                window_span=(fault.ts_request, fault.ts_response),
+            )
+
+        correlation_id = (
+            snapshot.fault.request_id if config.use_correlation_ids else ""
+        )
+        alpha = max(len(snapshot.events), 2)
+        if not config.adaptive_context or performance_fault:
+            # Performance faults use the entire context buffer (§5.3.1).
+            return self._finish(
+                snapshot, candidates, total,
+                scores=self._score(
+                    candidates,
+                    self._encode_events(snapshot.events, correlation_id),
+                ),
+                beta=len(snapshot.events), iterations=1,
+                events=snapshot.events,
+            )
+
+        beta = max(1, config.context_buffer_start(alpha) // 2)  # radius/side
+        delta = config.context_buffer_step(alpha)
+        best_scores: Optional[Dict[int, Tuple[int, float]]] = None
+        best_key: Tuple[int, int] = (-1, 0)
+        best_beta = beta
+        iterations = 0
+        stalled = 0
+        finalized: Dict[int, Tuple[int, float]] = {}
+        while True:
+            iterations += 1
+            window_events = snapshot.window(beta)
+            scores = self._score(
+                candidates,
+                self._encode_events(window_events, correlation_id),
+                finalized,
+            )
+            ranked = self._rank(candidates, scores)
+            if ranked:
+                length = max(scores[i][0] for i in ranked)
+                key = (length, -len(ranked))
+                if key > best_key:
+                    best_key, best_scores, best_beta = key, scores, beta
+                    stalled = 0
+                else:
+                    # Growth stopped sharpening the match (θ no longer
+                    # improving / starting to drop): stop soon (§5.3.1).
+                    stalled += 1
+                    if stalled >= config.stop_patience:
+                        break
+            if snapshot.covers_all(beta):
+                break
+            beta += delta
+
+        final_beta = best_beta if best_scores is not None else beta
+        return self._finish(
+            snapshot, candidates, total,
+            scores=best_scores or {}, beta=final_beta, iterations=iterations,
+            events=snapshot.window(final_beta),
+        )
+
+    def _finish(self, snapshot: Snapshot, candidates: List[_Candidate],
+                total: int, *, scores: Dict[int, Tuple[int, float]], beta: int,
+                iterations: int, events: Sequence[WireEvent]) -> DetectionResult:
+        ranked = self._rank(candidates, scores)
+        matched = [candidates[i].original for i in ranked]
+        coverages = {
+            candidates[i].original.operation: scores[i][1] for i in ranked
+        }
+        span = (
+            (events[0].ts_request, events[-1].ts_response)
+            if events else (snapshot.fault.ts_request, snapshot.fault.ts_response)
+        )
+        return DetectionResult(
+            fault=snapshot.fault,
+            matched=matched,
+            candidates=len(candidates),
+            theta=theta(total, len(matched)),
+            beta_used=beta,
+            iterations=iterations,
+            window_span=span,
+            matched_events=self._events_of(matched, events),
+            coverages=coverages,
+        )
+
+    def _events_of(self, matched: List[Fingerprint],
+                   events: Sequence[WireEvent]) -> List[WireEvent]:
+        """The snapshot events whose symbols belong to matched ops."""
+        if not matched:
+            return []
+        wanted = set()
+        for fingerprint in matched:
+            wanted.update(fingerprint.symbols)
+        result = []
+        for event in events:
+            if event.noise:
+                continue
+            if self.symbols.symbol(event.api_key) in wanted:
+                result.append(event)
+        return result

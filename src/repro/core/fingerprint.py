@@ -1,0 +1,381 @@
+"""Fingerprint generation (Algorithm 1) and the fingerprint library.
+
+An operational fingerprint is the precise sequence of APIs that
+identifies one high-level administrative operation.  Generation runs
+offline, from repeated isolated executions of the operation:
+
+1. **noise filtering** — drop heartbeat/status RPCs, Keystone
+   authentication round trips, and collapse repeat occurrences of
+   idempotent REST reads on the same URI (§5, "Fingerprinting
+   operations");
+2. **longest common subsequence** across the filtered traces, starting
+   from the shortest trace, which removes transient invocations;
+3. **regex construction** — each API becomes one Unicode symbol;
+   state-change APIs (POST/PUT/DELETE and RPCs) are required literals,
+   reads are starred (optional), per Algorithm 1.
+
+Matching at runtime uses two compiled forms:
+
+* the **relaxed** matcher keeps only state-change symbols with
+  arbitrary gaps (`§5.3.1`: "a regular expression matches the snapshot
+  if the sequence of symbols corresponding to the state change
+  operations is preserved" — with gap wildcards, optional reads can
+  never fail a match, so this is exactly the paper-regex semantics);
+* the **strict** matcher requires every symbol, reads included, in
+  order (the ablation baseline).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.catalog import ApiCatalog
+from repro.core.symbols import SymbolTable
+
+
+# ---------------------------------------------------------------------------
+# Noise filtering
+# ---------------------------------------------------------------------------
+
+def filter_noise(api_keys: Sequence[str], catalog: ApiCatalog) -> List[str]:
+    """Remove messages that carry no operation-identifying signal.
+
+    Drops APIs flagged as noise (heartbeats, status reports, token
+    issue/validate), all Keystone REST traffic, and collapses *runs* of
+    the same idempotent read (status-poll GET loops become a single
+    occurrence).
+    """
+    filtered: List[str] = []
+    previous: Optional[str] = None
+    for key in api_keys:
+        api = catalog.get(key)
+        if api.noise:
+            continue
+        if api.kind is ApiKind.REST and api.service == "keystone":
+            continue
+        if api.idempotent_read and key == previous:
+            continue
+        filtered.append(key)
+        previous = key
+    return filtered
+
+
+# ---------------------------------------------------------------------------
+# Longest common subsequence
+# ---------------------------------------------------------------------------
+
+def longest_common_subsequence(a: Sequence[str], b: Sequence[str]) -> List[str]:
+    """Classic O(len(a)·len(b)) LCS over API-key sequences."""
+    if not a or not b:
+        return []
+    rows = len(a) + 1
+    cols = len(b) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        ai = a[i - 1]
+        row = table[i]
+        prev = table[i - 1]
+        for j in range(1, cols):
+            if ai == b[j - 1]:
+                row[j] = prev[j - 1] + 1
+            else:
+                row[j] = prev[j] if prev[j] >= row[j - 1] else row[j - 1]
+    # Backtrack.
+    result: List[str] = []
+    i, j = len(a), len(b)
+    while i > 0 and j > 0:
+        if a[i - 1] == b[j - 1]:
+            result.append(a[i - 1])
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    result.reverse()
+    return result
+
+
+def prefix_lcs_lengths(needle: str, haystack: str) -> List[int]:
+    """LCS(needle[:i], haystack) for every prefix length i.
+
+    Returns a list of ``len(needle) + 1`` integers; entry ``i`` is the
+    longest order-consistent overlap between the first ``i`` symbols of
+    ``needle`` and ``haystack``.  The haystack is pre-filtered to the
+    needle's alphabet, which keeps the work small when the snapshot is
+    dominated by other operations' symbols.
+
+    This is the matching primitive behind the paper's relaxed match:
+    Fig. 4 shows a fingerprint matching even though one of its
+    state-change symbols is absent from the context buffer, so a match
+    must be judged by how much of the fingerprint's symbol *order* the
+    buffer corroborates, not by requiring every literal.
+
+    Implementation: Hyyrö's bit-parallel LCS.  The row bit-vector is
+    the delta-encoding of the DP table's final column — a zero bit at
+    position ``i`` means ``LCS(needle[:i+1]) = LCS(needle[:i]) + 1`` —
+    so one O(|haystack|) pass yields every prefix value at once.
+    Fingerprints are ≲100 symbols, so the row vector is one or two
+    machine words inside a Python int.
+    """
+    if not needle:
+        return [0]
+    n = len(needle)
+    match: Dict[str, int] = {}
+    for index, symbol in enumerate(needle):
+        match[symbol] = match.get(symbol, 0) | (1 << index)
+
+    width_mask = (1 << n) - 1
+    row = width_mask  # all ones: no increments yet
+    get = match.get
+    for symbol in haystack:
+        mask = get(symbol)
+        if mask is None:
+            continue
+        update = row & mask
+        row = ((row + update) | (row - update)) & width_mask
+
+    result = [0] * (n + 1)
+    count = 0
+    for index in range(n):
+        if not (row >> index) & 1:
+            count += 1
+        result[index + 1] = count
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fingerprint:
+    """One operation's fingerprint, in symbol form."""
+
+    operation: str
+    symbols: str                      # full symbol sequence (post-filtering/LCS)
+    state_change_mask: Tuple[bool, ...]  # parallel to ``symbols``
+    category: str = ""
+    nodes: Tuple[str, ...] = ()       # deployment nodes the operation touches
+    dependencies: Tuple[Tuple[str, str], ...] = ()  # (node, process) pairs
+    _matcher_cache: Dict[Tuple[str, bool, bool], "re.Pattern"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    @property
+    def state_change_symbols(self) -> str:
+        """Only the required literals (RPCs + POST/PUT/DELETE)."""
+        return "".join(
+            symbol for symbol, is_sc in zip(self.symbols, self.state_change_mask)
+            if is_sc
+        )
+
+    def rest_only(self, symbols: SymbolTable) -> "Fingerprint":
+        """A copy with RPC symbols pruned (§6's optimization)."""
+        kept = [
+            (symbol, is_sc)
+            for symbol, is_sc in zip(self.symbols, self.state_change_mask)
+            if symbols.api(symbol).kind is ApiKind.REST
+        ]
+        return Fingerprint(
+            operation=self.operation,
+            symbols="".join(s for s, _ in kept),
+            state_change_mask=tuple(sc for _, sc in kept),
+            category=self.category,
+            nodes=self.nodes,
+            dependencies=self.dependencies,
+        )
+
+    def paper_regex(self) -> str:
+        """Algorithm 1's literal output: reads starred, writes literal."""
+        parts = []
+        for symbol, is_sc in zip(self.symbols, self.state_change_mask):
+            parts.append(symbol if is_sc else symbol + "*")
+        return "".join(parts)
+
+    def truncate_at(self, symbol: str) -> "Fingerprint":
+        """Truncate at the *last* occurrence of ``symbol`` (Alg. 2)."""
+        index = self.symbols.rfind(symbol)
+        if index < 0:
+            return self
+        return Fingerprint(
+            operation=self.operation,
+            symbols=self.symbols[: index + 1],
+            state_change_mask=self.state_change_mask[: index + 1],
+            category=self.category,
+            nodes=self.nodes,
+            dependencies=self.dependencies,
+        )
+
+    def matcher(self, relaxed: bool = True) -> "re.Pattern":
+        """Compiled subsequence matcher over a snapshot symbol string."""
+        key = (self.symbols, relaxed, True)
+        pattern = self._matcher_cache.get(key)
+        if pattern is None:
+            if relaxed:
+                literals = self.state_change_symbols
+            else:
+                literals = self.symbols
+            pattern = re.compile(".*?".join(re.escape(s) for s in literals),
+                                 re.DOTALL)
+            self._matcher_cache[key] = pattern
+        return pattern
+
+    def matches(self, snapshot_symbols: str, relaxed: bool = True) -> bool:
+        """Whether the (truncated) fingerprint matches a snapshot."""
+        literals = self.state_change_symbols if relaxed else self.symbols
+        if not literals:
+            return False
+        return self.matcher(relaxed).search(snapshot_symbols) is not None
+
+    def coverage(self, snapshot_symbols: str, relaxed: bool = True) -> float:
+        """Greedy-subsequence fraction of required literals present."""
+        literals = self.state_change_symbols if relaxed else self.symbols
+        if not literals:
+            return 0.0
+        found = 0
+        position = 0
+        for literal in literals:
+            index = snapshot_symbols.find(literal, position)
+            if index < 0:
+                continue
+            found += 1
+            position = index + 1
+        return found / len(literals)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form."""
+        return {
+            "operation": self.operation,
+            "symbols": [ord(s) for s in self.symbols],
+            "state_change_mask": list(self.state_change_mask),
+            "category": self.category,
+            "nodes": list(self.nodes),
+            "dependencies": [list(d) for d in self.dependencies],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Fingerprint":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            operation=data["operation"],
+            symbols="".join(chr(c) for c in data["symbols"]),
+            state_change_mask=tuple(bool(b) for b in data["state_change_mask"]),
+            category=data.get("category", ""),
+            nodes=tuple(data.get("nodes", ())),
+            dependencies=tuple(tuple(d) for d in data.get("dependencies", ())),
+        )
+
+
+def generate_fingerprint(
+    operation: str,
+    traces: Sequence[Sequence[str]],
+    symbols: SymbolTable,
+    catalog: ApiCatalog,
+    *,
+    category: str = "",
+    nodes: Iterable[str] = (),
+    dependencies: Iterable[Tuple[str, str]] = (),
+) -> Fingerprint:
+    """Algorithm 1: noise-filter every trace, LCS them, emit symbols.
+
+    ``traces`` are API-key sequences from repeated isolated executions
+    of the operation (the paper re-executes each operation several
+    times and keeps only the common APIs).
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    ordered = sorted(traces, key=len)
+    common = filter_noise(ordered[0], catalog)
+    for trace in ordered[1:]:
+        common = longest_common_subsequence(common, filter_noise(trace, catalog))
+    symbol_string = symbols.encode(common)
+    mask = tuple(catalog.get(key).state_change for key in common)
+    return Fingerprint(
+        operation=operation,
+        symbols=symbol_string,
+        state_change_mask=mask,
+        category=category,
+        nodes=tuple(sorted(set(nodes))),
+        dependencies=tuple(sorted(set(dependencies))),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Library
+# ---------------------------------------------------------------------------
+
+class FingerprintLibrary:
+    """All known fingerprints, with a per-symbol inverted index."""
+
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+        self._fingerprints: Dict[str, Fingerprint] = {}
+        self._containing: Dict[str, Set[str]] = {}
+
+    def add(self, fingerprint: Fingerprint) -> None:
+        """Register a fingerprint (replacing any previous one)."""
+        previous = self._fingerprints.get(fingerprint.operation)
+        if previous is not None:
+            for symbol in set(previous.symbols):
+                self._containing.get(symbol, set()).discard(fingerprint.operation)
+        self._fingerprints[fingerprint.operation] = fingerprint
+        for symbol in set(fingerprint.symbols):
+            self._containing.setdefault(symbol, set()).add(fingerprint.operation)
+
+    def get(self, operation: str) -> Fingerprint:
+        """Fingerprint by operation name."""
+        return self._fingerprints[operation]
+
+    def __contains__(self, operation: str) -> bool:
+        return operation in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def __iter__(self):
+        return iter(self._fingerprints.values())
+
+    def operations(self) -> List[str]:
+        """All operation names, sorted."""
+        return sorted(self._fingerprints)
+
+    def ops_containing(self, symbol: str) -> List[Fingerprint]:
+        """GET_POSSIBLE_OFFENDING_OPERATIONS(A) from Algorithm 2."""
+        names = self._containing.get(symbol, set())
+        return [self._fingerprints[name] for name in sorted(names)]
+
+    @property
+    def fp_max(self) -> int:
+        """Size of the largest fingerprint (drives α)."""
+        if not self._fingerprints:
+            return 0
+        return max(len(fp) for fp in self._fingerprints.values())
+
+    def average_size(self, category: Optional[str] = None) -> float:
+        """Mean fingerprint length, optionally for one category."""
+        sizes = [
+            len(fp) for fp in self._fingerprints.values()
+            if category is None or fp.category == category
+        ]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form of the whole library."""
+        return {
+            "fingerprints": [fp.to_dict() for fp in self._fingerprints.values()]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, symbols: SymbolTable) -> "FingerprintLibrary":
+        """Inverse of :meth:`to_dict`."""
+        library = cls(symbols)
+        for item in data["fingerprints"]:
+            library.add(Fingerprint.from_dict(item))
+        return library

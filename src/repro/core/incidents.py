@@ -1,0 +1,185 @@
+"""Incident aggregation: from per-message fault reports to incidents.
+
+One failing operation typically produces a *cascade* of error messages
+— the injected/root error plus the upstream errors it causes (a 401
+from Keystone followed by the 503 the blocked service returns, §7.2.4)
+— and GRETEL emits one report per REST error (§5.3.1 snapshots each).
+Operators want one ticket per incident, not one per message.
+
+:class:`IncidentAggregator` folds a report stream into incidents using
+two signals GRETEL already has:
+
+* **time adjacency** — reports within ``window`` seconds of the
+  incident's last report may belong to it;
+* **evidence overlap** — shared root-cause findings, shared matched
+  operations, or a shared source/destination node pair.
+
+This is a reproduction-side extension (the paper stops at per-fault
+reports); it changes no detection behaviour and is used by the
+examples and the operator-facing export.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.reports import FaultReport, RootCauseFinding
+
+
+@dataclass
+class Incident:
+    """A group of fault reports judged to be one underlying problem."""
+
+    incident_id: int
+    reports: List[FaultReport] = field(default_factory=list)
+
+    @property
+    def first_ts(self) -> float:
+        """Timestamp of the earliest report in the incident."""
+        return min(r.ts for r in self.reports)
+
+    @property
+    def last_ts(self) -> float:
+        """Timestamp of the latest report in the incident."""
+        return max(r.ts for r in self.reports)
+
+    @property
+    def kinds(self) -> Set[str]:
+        """Fault kinds present (operational / performance)."""
+        return {r.kind for r in self.reports}
+
+    @property
+    def operations(self) -> List[str]:
+        """Operations implicated, ranked by how many reports name them."""
+        counts: Dict[str, int] = {}
+        for report in self.reports:
+            for operation in report.operations:
+                counts[operation] = counts.get(operation, 0) + 1
+        return sorted(counts, key=lambda op: (-counts[op], op))
+
+    @property
+    def root_causes(self) -> List[RootCauseFinding]:
+        """Deduplicated root-cause findings across the cascade."""
+        seen = {}
+        for report in self.reports:
+            for cause in report.root_causes:
+                seen[(cause.node, cause.kind, cause.subject)] = cause
+        return list(seen.values())
+
+    def summary(self) -> str:
+        """One-line operator summary."""
+        causes = "; ".join(str(c) for c in self.root_causes) or "cause unknown"
+        ops = ", ".join(self.operations[:3]) or "<unidentified>"
+        return (
+            f"incident #{self.incident_id}: {len(self.reports)} fault "
+            f"report(s) over [{self.first_ts:.2f}s, {self.last_ts:.2f}s], "
+            f"operation(s) {ops} — {causes}"
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-exportable form."""
+        return {
+            "incident_id": self.incident_id,
+            "first_ts": self.first_ts,
+            "last_ts": self.last_ts,
+            "kinds": sorted(self.kinds),
+            "report_count": len(self.reports),
+            "operations": self.operations,
+            "root_causes": [
+                {"node": c.node, "kind": c.kind, "subject": c.subject,
+                 "detail": c.detail}
+                for c in self.root_causes
+            ],
+            "faults": [
+                {"ts": r.ts, "kind": r.kind,
+                 "api": f"{r.fault_event.method} {r.fault_event.name}",
+                 "status": r.fault_event.status,
+                 "src": r.fault_event.src_service,
+                 "dst": r.fault_event.dst_service,
+                 "theta": r.theta}
+                for r in self.reports
+            ],
+        }
+
+
+def _cause_keys(report: FaultReport) -> Set[tuple]:
+    return {(c.node, c.kind, c.subject) for c in report.root_causes}
+
+
+def _nodes_related(a: FaultReport, b: FaultReport) -> bool:
+    """Whether two faults plausibly share a failing component.
+
+    Matching on the *destination* (serving) nodes, or on one fault's
+    source being the other's destination (a cascade hop, like the 401
+    Keystone answers Cinder followed by Cinder's own 503).  Source-to-
+    source matches are deliberately excluded: every client-facing error
+    shares the client host, which would chain unrelated incidents.
+    """
+    ea, eb = a.fault_event, b.fault_event
+    return (
+        ea.dst_node == eb.dst_node
+        or ea.src_node == eb.dst_node
+        or ea.dst_node == eb.src_node
+    )
+
+
+class IncidentAggregator:
+    """Online folding of fault reports into incidents."""
+
+    def __init__(self, window: float = 10.0):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.incidents: List[Incident] = []
+        self._counter = 0
+
+    def add(self, report: FaultReport) -> Incident:
+        """Route one report to an open incident or start a new one."""
+        for incident in reversed(self.incidents):
+            if report.ts - incident.last_ts > self.window:
+                continue
+            if self._related(incident, report):
+                incident.reports.append(report)
+                return incident
+        self._counter += 1
+        incident = Incident(incident_id=self._counter, reports=[report])
+        self.incidents.append(incident)
+        return incident
+
+    def add_all(self, reports) -> List[Incident]:
+        """Fold a report sequence; returns the incident list."""
+        for report in sorted(reports, key=lambda r: r.ts):
+            self.add(report)
+        return self.incidents
+
+    def _related(self, incident: Incident, report: FaultReport) -> bool:
+        report_causes = _cause_keys(report)
+        report_ops = set(report.operations)
+        for existing in incident.reports:
+            existing_causes = _cause_keys(existing)
+            if report_causes and existing_causes:
+                # Both diagnosed: the root cause is the authoritative
+                # signal — two faults with disjoint causes are separate
+                # incidents even when they hit the same operations
+                # (one full disk + one dead NTP can both break the
+                # same VM-boot scenario).
+                if report_causes & existing_causes:
+                    return True
+                continue
+            if report_ops and report_ops & set(existing.operations):
+                return True
+            if _nodes_related(report, existing):
+                return True
+        return False
+
+    def export_json(self, path: Optional[str] = None) -> str:
+        """Serialize all incidents (optionally to a file)."""
+        payload = json.dumps(
+            {"incidents": [i.to_dict() for i in self.incidents]}, indent=2
+        )
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+        return payload

@@ -1,0 +1,87 @@
+"""Per-API latency tracking and performance-fault detection.
+
+REST latencies are computed by pairing request and response on TCP
+connection metadata; RPC latencies pair on the oslo message id (§5.3).
+Our wire events already carry both timestamps, so the tracker consumes
+the observed latency directly and feeds one
+:class:`~repro.core.outliers.LevelShiftDetector` per API identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.openstack.wire import WireEvent
+from repro.core.config import GretelConfig
+from repro.core.outliers import LevelShiftDetector
+
+
+@dataclass(frozen=True)
+class PerformanceAnomaly:
+    """An anomalous latency level shift on one API."""
+
+    api_key: str
+    ts: float
+    observed: float
+    baseline: float
+    event: WireEvent
+
+    @property
+    def magnitude(self) -> float:
+        """Latency increase over the baseline, seconds."""
+        return self.observed - self.baseline
+
+
+class LatencyTracker:
+    """Streams per-API latencies into per-API level-shift detectors."""
+
+    def __init__(self, config: Optional[GretelConfig] = None):
+        self.config = config or GretelConfig()
+        self._detectors: Dict[str, LevelShiftDetector] = {}
+        self.anomalies: List[PerformanceAnomaly] = []
+        self._listeners: List[Callable[[PerformanceAnomaly], None]] = []
+
+    def on_anomaly(self, callback: Callable[[PerformanceAnomaly], None]) -> None:
+        """Register a performance-fault consumer."""
+        self._listeners.append(callback)
+
+    def detector_for(self, api_key: str) -> LevelShiftDetector:
+        """The (lazily created) detector for one API identity."""
+        detector = self._detectors.get(api_key)
+        if detector is None:
+            config = self.config
+            detector = LevelShiftDetector(
+                window=config.ls_window,
+                sigmas=config.ls_sigmas,
+                min_delta=config.ls_min_delta,
+                confirm=config.ls_confirm,
+                warmup=config.ls_warmup,
+                rel_delta=config.ls_rel_delta,
+                cooldown=config.ls_cooldown,
+            )
+            self._detectors[api_key] = detector
+        return detector
+
+    def observe(self, event: WireEvent) -> Optional[PerformanceAnomaly]:
+        """Feed one event's latency; returns an anomaly if confirmed."""
+        shift = self.detector_for(event.api_key).update(
+            event.ts_response, event.latency
+        )
+        if shift is None:
+            return None
+        anomaly = PerformanceAnomaly(
+            api_key=event.api_key,
+            ts=shift.ts,
+            observed=shift.observed,
+            baseline=shift.baseline,
+            event=event,
+        )
+        self.anomalies.append(anomaly)
+        for callback in self._listeners:
+            callback(anomaly)
+        return anomaly
+
+    def series_count(self) -> int:
+        """How many API series are being tracked."""
+        return len(self._detectors)

@@ -1,0 +1,19 @@
+"""GRETEL's precision metric θ = (N − n) / (N − 1)  (§5.3.1)."""
+
+from __future__ import annotations
+
+
+def theta(total_fingerprints: int, matched: int) -> float:
+    """Precision of narrowing a fault to ``matched`` of ``total`` ops.
+
+    θ = 1 when the fault is narrowed to a single operation; θ = 0 when
+    every operation matched.  ``matched = 0`` (no match at all — a
+    false negative, not an imprecise match) also scores 1 by
+    convention so callers can distinguish it separately.
+    """
+    if total_fingerprints < 2:
+        raise ValueError("need at least two fingerprints for θ to be meaningful")
+    if matched < 0:
+        raise ValueError("matched count cannot be negative")
+    n = max(matched, 1)
+    return (total_fingerprints - n) / (total_fingerprints - 1)

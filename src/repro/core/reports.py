@@ -1,0 +1,62 @@
+"""Fault reports: what GRETEL hands the operator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.openstack.wire import WireEvent
+from repro.core.detector import DetectionResult
+from repro.core.latency import PerformanceAnomaly
+
+
+@dataclass(frozen=True)
+class RootCauseFinding:
+    """One root-cause hypothesis produced by Algorithm 3."""
+
+    node: str
+    kind: str          # "resource" | "software"
+    subject: str       # metric name or process name
+    detail: str
+    value: float = 0.0
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject} on {self.node}: {self.detail}"
+
+
+@dataclass
+class FaultReport:
+    """One complete fault diagnosis."""
+
+    ts: float
+    kind: str                          # "operational" | "performance"
+    fault_event: WireEvent
+    detection: DetectionResult
+    root_causes: List[RootCauseFinding] = field(default_factory=list)
+    performance: Optional[PerformanceAnomaly] = None
+    analysis_seconds: float = 0.0      # wall-clock analysis cost
+    #: Simulated-time delay between the fault and snapshot completion
+    #: (the α/2 future-fill the paper bounds at <2 s under 400 ops).
+    report_delay: float = 0.0
+
+    @property
+    def operations(self) -> List[str]:
+        """The high-level administrative operations implicated."""
+        return self.detection.operations
+
+    @property
+    def theta(self) -> float:
+        """Detection precision for this fault."""
+        return self.detection.theta
+
+    def summary(self) -> str:
+        """A one-paragraph operator-facing summary."""
+        ops = ", ".join(self.operations) or "<no operation matched>"
+        causes = "; ".join(str(c) for c in self.root_causes) or "none found"
+        fault = self.fault_event
+        return (
+            f"{self.kind} fault at t={self.ts:.3f}: "
+            f"{fault.method} {fault.name} "
+            f"({fault.src_service}->{fault.dst_service}) status={fault.status}. "
+            f"Operation(s): {ops}. Root cause(s): {causes}."
+        )

@@ -1,0 +1,61 @@
+"""Per-API Unicode symbols.
+
+"Since the number of unique OpenStack APIs is 643, we use Unicode
+encoding to assign a symbol to each API" (§6).  Symbols come from the
+Basic Multilingual Plane private-use area (U+E000...), so any message
+sequence becomes a plain Python string and fingerprint matching is a
+single compiled-regex search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.openstack.apis import Api
+from repro.openstack.catalog import ApiCatalog
+
+#: First code point used for API symbols (private use area).
+_BASE_CODEPOINT = 0xE000
+
+
+class SymbolTable:
+    """Bijective mapping API key ↔ one Unicode character."""
+
+    def __init__(self, catalog: ApiCatalog):
+        self.catalog = catalog
+        self._by_key: Dict[str, str] = {}
+        self._by_symbol: Dict[str, str] = {}
+        for index, api in enumerate(catalog.apis):
+            symbol = chr(_BASE_CODEPOINT + index)
+            self._by_key[api.key] = symbol
+            self._by_symbol[symbol] = api.key
+
+    def symbol(self, api_key: str) -> str:
+        """The symbol for an API key; raises ``KeyError`` if unknown."""
+        return self._by_key[api_key]
+
+    def api_key(self, symbol: str) -> str:
+        """The API key behind a symbol."""
+        return self._by_symbol[symbol]
+
+    def api(self, symbol: str) -> Api:
+        """The full :class:`Api` behind a symbol."""
+        return self.catalog.get(self._by_symbol[symbol])
+
+    def encode(self, api_keys: Iterable[str]) -> str:
+        """Encode a sequence of API keys into a symbol string."""
+        return "".join(self._by_key[key] for key in api_keys)
+
+    def decode(self, symbols: str) -> List[str]:
+        """Decode a symbol string back into API keys."""
+        return [self._by_symbol[symbol] for symbol in symbols]
+
+    def is_state_change(self, symbol: str) -> bool:
+        """Whether the symbol's API is a state-change API."""
+        return self.api(symbol).state_change
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, api_key: str) -> bool:
+        return api_key in self._by_key

@@ -1,0 +1,112 @@
+"""The dual-buffer sliding window and its snapshot mechanism.
+
+§5.3.1 / §6: GRETEL keeps a sliding window of α messages.  On
+detecting an anomaly it slides the window ahead by α/2 messages and
+waits for the event receiver to fill the remaining α/2, so the frozen
+snapshot holds both the past and the future of the faulty message.
+The implementation mirrors the paper's dual-buffer trick: a deque of
+the most recent α events with two logical pointers α apart; freezing
+is a copy of the deque once enough post-fault events arrived.
+
+Multiple overlapping faults are supported: each fault registers its
+own pending snapshot, and each snapshot completes after its own α/2
+subsequent events (or a flush).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.openstack.wire import WireEvent
+
+
+@dataclass
+class Snapshot:
+    """A frozen window of events centered on one faulty message."""
+
+    fault: WireEvent
+    events: List[WireEvent]
+    fault_index: int           # position of the fault inside ``events``
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def window(self, radius: int) -> List[WireEvent]:
+        """Events within ``radius`` positions of the fault (the context
+        buffer's current extent)."""
+        lo = max(0, self.fault_index - radius)
+        hi = min(len(self.events), self.fault_index + radius + 1)
+        return self.events[lo:hi]
+
+    def covers_all(self, radius: int) -> bool:
+        """Whether ``radius`` already spans the whole snapshot."""
+        return (self.fault_index - radius <= 0
+                and self.fault_index + radius + 1 >= len(self.events))
+
+
+class SlidingWindow:
+    """Dual-buffer sliding window of the α most recent events."""
+
+    def __init__(self, alpha: int,
+                 on_snapshot: Optional[Callable[[Snapshot], None]] = None):
+        if alpha < 2:
+            raise ValueError("alpha must be at least 2")
+        self.alpha = alpha
+        self.on_snapshot = on_snapshot
+        self._events: Deque[WireEvent] = deque(maxlen=alpha)
+        self._pending: List[Tuple[WireEvent, int]] = []  # (fault, remaining)
+        self.snapshots_taken = 0
+        self.appended = 0
+
+    def append(self, event: WireEvent) -> List[Snapshot]:
+        """Add one event; returns any snapshots that completed."""
+        self._events.append(event)
+        self.appended += 1
+        completed: List[Snapshot] = []
+        if self._pending:
+            still_pending: List[Tuple[WireEvent, int]] = []
+            for fault, remaining in self._pending:
+                remaining -= 1
+                if remaining <= 0:
+                    completed.append(self._freeze(fault))
+                else:
+                    still_pending.append((fault, remaining))
+            self._pending = still_pending
+        return completed
+
+    def mark_fault(self, fault: WireEvent) -> None:
+        """Register a fault; its snapshot freezes after α/2 more events."""
+        self._pending.append((fault, self.alpha // 2))
+
+    def flush(self) -> List[Snapshot]:
+        """Force-freeze all pending snapshots (end of stream)."""
+        completed = [self._freeze(fault) for fault, _ in self._pending]
+        self._pending.clear()
+        return completed
+
+    def _freeze(self, fault: WireEvent) -> Snapshot:
+        events = list(self._events)
+        try:
+            fault_index = next(
+                i for i, e in enumerate(events) if e.seq == fault.seq
+            )
+        except StopIteration:
+            # The fault scrolled out (pathologically bursty stream);
+            # anchor at the window start so analysis can still proceed.
+            fault_index = 0
+            events = [fault] + events
+        snapshot = Snapshot(fault=fault, events=events, fault_index=fault_index)
+        self.snapshots_taken += 1
+        if self.on_snapshot is not None:
+            self.on_snapshot(snapshot)
+        return snapshot
+
+    @property
+    def pending_snapshots(self) -> int:
+        """Snapshots still waiting for their post-fault half."""
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._events)

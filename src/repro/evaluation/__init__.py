@@ -1,0 +1,33 @@
+"""Evaluation harness: one module per table/figure of the paper (§7).
+
+Each experiment module exposes a ``run(...)`` function returning the
+rows/series the corresponding table or figure plots, plus a
+``format_report(...)`` helper that renders paper-versus-measured
+output.  The benchmark suite under ``benchmarks/`` drives these.
+
+========================  ======================================
+Module                    Paper artifact
+========================  ======================================
+``table1``                Table 1 — Tempest characterization
+``fig5``                  Fig. 5 — Compute-operation overlap CDF
+``fig6``                  Fig. 6 — Neutron API latency level shift
+``fig7``                  Fig. 7a/b/c — precision experiments
+``fig8a``                 Fig. 8a — 16 identical parallel faults
+``fig8b``                 Fig. 8b — injected-latency perf faults
+``fig8c``                 Fig. 8c — analyzer throughput
+``overhead``              §7.4.2 — analyzer CPU/memory overhead
+``case_studies``          §3.1 / §7.2 — root-cause case studies
+========================  ======================================
+"""
+
+from repro.evaluation.common import (
+    default_characterization,
+    default_suite,
+    make_monitored_analyzer,
+)
+
+__all__ = [
+    "default_characterization",
+    "default_suite",
+    "make_monitored_analyzer",
+]

@@ -1,0 +1,273 @@
+"""Shared evaluation infrastructure: cached characterization, monitored
+clouds, and the fault-injection workload runner behind §7.3's
+precision experiments."""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.apis import ApiKind
+from repro.openstack.catalog import default_catalog
+from repro.core.analyzer import GretelAnalyzer
+from repro.core.characterize import CharacterizationResult, characterize_suite
+from repro.core.config import GretelConfig
+from repro.core.reports import FaultReport
+from repro.core.symbols import SymbolTable
+from repro.monitoring.plane import MonitoringPlane
+from repro.workloads.runner import OperationOutcome, WorkloadRunner
+from repro.workloads.tempest import TempestSuite, TempestTest, build_suite
+
+#: Calibration of the sliding window: observed control-traffic rate of
+#: the simulated deployment is ~13 packets/second per concurrent
+#: operation (the paper measured its own P_rate with Bro, §7).
+P_RATE_PER_OP = 13.0
+
+_SUITE_CACHE: Dict[int, TempestSuite] = {}
+_CHAR_CACHE: Dict[Tuple[int, int], CharacterizationResult] = {}
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("GRETEL_CACHE_DIR")
+    if override:
+        os.makedirs(override, exist_ok=True)
+        return override
+    path = os.path.join(tempfile.gettempdir(), "gretel-repro-cache")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def default_suite(seed: int = 0) -> TempestSuite:
+    """The 1200-test suite (memoized per seed)."""
+    suite = _SUITE_CACHE.get(seed)
+    if suite is None:
+        suite = build_suite(seed=seed)
+        _SUITE_CACHE[seed] = suite
+    return suite
+
+
+def _template_space_tag() -> str:
+    """Content hash of everything a trace depends on (workload template
+    sources plus the simulated services), so the on-disk
+    characterization cache invalidates whenever behaviour changes."""
+    import glob
+    import hashlib
+
+    import repro.openstack as openstack_pkg
+    import repro.workloads as workloads_pkg
+
+    digest = hashlib.sha256()
+    roots = [
+        os.path.dirname(workloads_pkg.__file__),
+        os.path.dirname(openstack_pkg.__file__),
+    ]
+    for root in roots:
+        for path in sorted(glob.glob(os.path.join(root, "**", "*.py"),
+                                     recursive=True)):
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()[:12]
+
+
+def default_characterization(seed: int = 0, iterations: int = 2,
+                             use_disk_cache: bool = True) -> CharacterizationResult:
+    """Full-suite characterization, memoized in memory and on disk."""
+    key = (seed, iterations)
+    result = _CHAR_CACHE.get(key)
+    if result is None:
+        cache_path = None
+        if use_disk_cache:
+            cache_path = os.path.join(
+                _cache_dir(),
+                f"characterization-s{seed}-i{iterations}-{_template_space_tag()}.json",
+            )
+        result = characterize_suite(
+            default_suite(seed), iterations=iterations, seed=seed,
+            cache_path=cache_path,
+        )
+        _CHAR_CACHE[key] = result
+    return result
+
+
+def p_rate_for(concurrency: int) -> float:
+    """Sliding-window packet-rate calibration for a concurrency level."""
+    return max(150.0, P_RATE_PER_OP * concurrency)
+
+
+def make_monitored_analyzer(
+    character: CharacterizationResult,
+    *,
+    seed: int = 0,
+    concurrency: int = 100,
+    config: Optional[GretelConfig] = None,
+    track_latency: bool = False,
+) -> Tuple[Cloud, MonitoringPlane, GretelAnalyzer]:
+    """A cloud with full monitoring wired into a GRETEL analyzer."""
+    cloud = Cloud(seed=seed)
+    plane = MonitoringPlane(cloud)
+    if config is None:
+        config = GretelConfig(p_rate=p_rate_for(concurrency))
+    analyzer = GretelAnalyzer(
+        character.library, store=plane.store, config=config,
+        track_latency=track_latency,
+    )
+    plane.subscribe_events(analyzer.on_event)
+    plane.start()
+    return cloud, plane, analyzer
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection workloads (§7.3)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultRunStats:
+    """Per-report detection statistics from one workload run."""
+
+    reports: List[FaultReport]
+    outcomes: List[OperationOutcome]
+    injected: int
+    library_size: int
+
+    @property
+    def operational(self) -> List[FaultReport]:
+        """Reports for operational (error-code) faults."""
+        return [r for r in self.reports if r.kind == "operational"]
+
+    def matched_counts(self) -> List[int]:
+        """Operations matched per operational fault report."""
+        return [len(r.detection.matched) for r in self.operational]
+
+    def candidate_counts(self) -> List[int]:
+        """'With API error' counts per report (no snapshot, Fig. 7b)."""
+        return [r.detection.candidates for r in self.operational]
+
+    def thetas(self) -> List[float]:
+        """θ per operational fault report."""
+        return [r.theta for r in self.operational]
+
+    def true_hits(self) -> List[bool]:
+        """Whether the ground-truth faulty operation was matched."""
+        return [
+            r.fault_event.op_id in r.detection.operations
+            for r in self.operational
+            if r.fault_event.op_id
+        ]
+
+    def mean_theta(self) -> float:
+        """Average θ across operational reports (1.0 when none)."""
+        values = self.thetas()
+        return sum(values) / len(values) if values else 1.0
+
+    def mean_matched(self) -> float:
+        """Average operations matched per report."""
+        values = self.matched_counts()
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_candidates(self) -> float:
+        """Average 'with API error' candidate count per report."""
+        values = self.candidate_counts()
+        return sum(values) / len(values) if values else 0.0
+
+    def max_report_delay(self) -> float:
+        """Worst snapshot-fill delay across reports, seconds."""
+        delays = [r.report_delay for r in self.operational]
+        return max(delays) if delays else 0.0
+
+
+def _distinctive_fault_api(test: TempestTest, character: CharacterizationResult,
+                           symbols: SymbolTable, rng: random.Random,
+                           phase: str = "late") -> Optional[str]:
+    """Pick a state-change REST API from the test's fingerprint.
+
+    ``phase="late"`` (default) picks from the exercise/teardown part —
+    the paper injects "erroneous APIs" into Compute/Network operations,
+    i.e. category-specific APIs past the shared setup.  ``"early"``
+    picks from the setup/boot phase (the hard case for truncation
+    ablations); ``"any"`` samples uniformly.
+    """
+    catalog = default_catalog()
+    fingerprint = character.library.get(test.test_id)
+    keys = symbols.decode(fingerprint.symbols)
+    state_change = [
+        key for key in keys
+        if catalog.get(key).state_change and catalog.get(key).kind is ApiKind.REST
+    ]
+    if not state_change:
+        return None
+
+    def rarity(key: str) -> int:
+        return len(character.library.ops_containing(symbols.symbol(key)))
+
+    if phase == "early":
+        pool = state_change[: max(1, len(state_change) * 2 // 5)]
+        return rng.choice(pool)
+    if phase == "any":
+        return rng.choice(state_change)
+    late = state_change[len(state_change) * 2 // 5:] or state_change
+    late.sort(key=rarity)
+    distinctive = late[: max(1, len(late) // 2)]
+    return rng.choice(distinctive)
+
+
+def run_fault_workload(
+    *,
+    concurrency: int,
+    n_faults: int,
+    character: Optional[CharacterizationResult] = None,
+    seed: int = 0,
+    config: Optional[GretelConfig] = None,
+    identical_faulty_test: Optional[TempestTest] = None,
+    stagger: float = 0.01,
+    fault_phase: str = "late",
+) -> FaultRunStats:
+    """One §7.3 experiment: ``concurrency`` random non-faulty tests
+    (sampled proportionally to the suite mix) plus ``n_faults``
+    injected API errors striking Compute/Network operations.
+
+    With ``identical_faulty_test`` set, the faulty workload is
+    ``n_faults`` parallel instances of that single test (Fig. 8a).
+    """
+    character = character or default_characterization()
+    suite = default_suite()
+    rng = random.Random(seed * 7919 + concurrency * 31 + n_faults)
+    symbols = character.library.symbols
+
+    cloud, plane, analyzer = make_monitored_analyzer(
+        character, seed=seed, concurrency=concurrency, config=config,
+    )
+    runner = WorkloadRunner(cloud)
+
+    mix = suite.sample(concurrency, rng)
+    eligible = [t for t in suite.tests if t.category in ("compute", "network")]
+    if identical_faulty_test is not None:
+        faulty_tests = [identical_faulty_test] * n_faults
+    else:
+        faulty_tests = [rng.choice(eligible) for _ in range(n_faults)]
+
+    injected = 0
+    for faulty in faulty_tests:
+        api_key = _distinctive_fault_api(faulty, character, symbols, rng,
+                                         phase=fault_phase)
+        if api_key is None:
+            continue
+        cloud.faults.inject_api_error(
+            api_key, 500, "Injected operational fault", count=1,
+            op_id=faulty.test_id,
+        )
+        injected += 1
+
+    outcomes = runner.run_concurrent(
+        mix + faulty_tests, stagger=stagger, settle=2.0,
+    )
+    analyzer.flush()
+    return FaultRunStats(
+        reports=analyzer.reports,
+        outcomes=outcomes,
+        injected=injected,
+        library_size=len(character.library),
+    )

@@ -1,0 +1,148 @@
+"""Fig. 5 — fingerprint overlap of representative Compute operations.
+
+The paper selects 70 representative Compute operations and plots the
+CDF of their fingerprint overlap against all other categories,
+observing that ~90 % of them have <15 % overlap.  Overlap of operation
+*o* against category *C* is the largest fraction of *o*'s API symbols
+shared with any operation of *C*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.characterize import CharacterizationResult
+from repro.evaluation.common import default_characterization
+
+#: Number of representative Compute operations (as in the paper).
+REPRESENTATIVES = 70
+
+#: The paper's headline numbers for this figure.
+PAPER_LOW_OVERLAP_FRACTION = 0.90
+PAPER_OVERLAP_THRESHOLD = 0.15
+
+
+def _overlap(symbols_a: frozenset, symbols_b: frozenset) -> float:
+    if not symbols_a:
+        return 0.0
+    return len(symbols_a & symbols_b) / len(symbols_a)
+
+
+def run(character: Optional[CharacterizationResult] = None) -> Dict[str, List[float]]:
+    """Per-category sorted overlap values for the representative ops.
+
+    Returns ``{category: sorted overlaps}`` plus an ``"all"`` series
+    holding each representative's maximum overlap across every other
+    category (the quantity behind the paper's "<15 % overlap across
+    all categories" claim).
+    """
+    character = character or default_characterization()
+    library = character.library
+
+    # Representative Compute operations are *instance* operations (the
+    # paper's Compute category is instance lifecycle work); pure admin
+    # read sweeps live in Misc territory and are excluded.
+    boot_symbol = character.library.symbols.symbol("rest:nova:POST:/v2.1/servers")
+    compute = [
+        fp for fp in library
+        if fp.category == "compute" and len(fp) > 0 and boot_symbol in fp.symbols
+    ]
+    step = max(1, len(compute) // REPRESENTATIVES)
+    representatives = compute[::step][:REPRESENTATIVES]
+
+    other_categories: Dict[str, List[frozenset]] = {}
+    for fingerprint in library:
+        if fingerprint.category != "compute" and len(fingerprint) > 0:
+            other_categories.setdefault(fingerprint.category, []).append(
+                frozenset(fingerprint.symbols)
+            )
+
+    series: Dict[str, List[float]] = {name: [] for name in other_categories}
+    series["all"] = []
+    for representative in representatives:
+        rep_symbols = frozenset(representative.symbols)
+        worst = 0.0
+        for category, members in other_categories.items():
+            overlap = max((_overlap(rep_symbols, m) for m in members), default=0.0)
+            series[category].append(overlap)
+            worst = max(worst, overlap)
+        series["all"].append(worst)
+    for values in series.values():
+        values.sort()
+    return series
+
+
+def low_overlap_fraction(series: Dict[str, List[float]],
+                         threshold: float = PAPER_OVERLAP_THRESHOLD) -> float:
+    """Fraction of representatives with max-overlap below threshold."""
+    values = series["all"]
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v < threshold) / len(values)
+
+
+#: Average Compute fingerprint size in the paper (Table 1); used to
+#: project our overlap fractions to the paper's fingerprint scale.
+PAPER_COMPUTE_FP_SIZE = 100
+
+
+def paper_scale_projection(character: CharacterizationResult,
+                           series: Dict[str, List[float]]) -> float:
+    """Overlap re-normalized to paper-sized Compute fingerprints.
+
+    The *absolute* number of APIs a Compute operation inherently shares
+    with other categories (the neutron/glance plumbing of a boot) is a
+    property of OpenStack, not of fingerprint size; the paper's <15 %
+    fractions come from dividing that shared set by ~100-API Compute
+    fingerprints.  Our scenarios are leaner, so we also report the
+    fraction with shared-API count below 15 % of a paper-sized
+    fingerprint.
+    """
+    measured_size = character.stats["compute"].avg_fp_with_rpc or 1.0
+    scale = measured_size / PAPER_COMPUTE_FP_SIZE
+    values = [v * scale for v in series["all"]]
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v < PAPER_OVERLAP_THRESHOLD) / len(values)
+
+
+def format_report(series: Dict[str, List[float]],
+                  character: Optional[CharacterizationResult] = None) -> str:
+    """CDF summary rendering."""
+    from repro.reporting import render_cdf
+
+    lines = [
+        "Fig. 5: Compute-operation fingerprint overlap CDF",
+        "(fraction of representatives at or below each overlap value,",
+        " overlap axis 0 .. 1)",
+        render_cdf(series, value_range=(0.0, 1.0)),
+    ]
+    for category in sorted(series):
+        values = series[category]
+        if not values:
+            continue
+        p50 = values[len(values) // 2]
+        p90 = values[int(len(values) * 0.9)]
+        lines.append(
+            f"  vs {category:8s}: median={p50:.2f} p90={p90:.2f} max={values[-1]:.2f}"
+        )
+    measured = low_overlap_fraction(series)
+    lines.append(
+        f"  fraction with <{PAPER_OVERLAP_THRESHOLD:.0%} overlap across all "
+        f"categories: measured {measured:.0%} | paper ~{PAPER_LOW_OVERLAP_FRACTION:.0%}"
+    )
+    if character is not None:
+        projected = paper_scale_projection(character, series)
+        lines.append(
+            f"  projected at paper-scale (100-API) Compute fingerprints: "
+            f"{projected:.0%}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,171 @@
+"""Fig. 7 — GRETEL's precision under parallel workloads (§7.3).
+
+* **Fig. 7a** — precision θ for 100–400 parallel tests × {1,4,8,16}
+  injected operational faults (paper: >98 % everywhere, marginally
+  increasing with load);
+* **Fig. 7b** — operations matched per fault, "with API error" (no
+  snapshot: every operation containing the offending API) versus with
+  the snapshot from the context buffer, at 8 faults;
+* **Fig. 7c** — operations matched with and without RPC symbols in
+  the fingerprints (the §6 pruning optimization), 100 tests, 8 faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.characterize import CharacterizationResult
+from repro.core.config import GretelConfig
+from repro.evaluation.common import (
+    default_characterization,
+    p_rate_for,
+    run_fault_workload,
+)
+
+#: Paper headline: θ exceeds 98 % in every scenario.
+PAPER_MIN_THETA = 0.98
+
+CONCURRENCIES = (100, 200, 300, 400)
+FAULT_COUNTS = (1, 4, 8, 16)
+
+
+@dataclass
+class PrecisionCell:
+    """One (concurrency, faults) grid cell."""
+
+    concurrency: int
+    faults: int
+    theta: float
+    matched_mean: float
+    candidates_mean: float
+    true_hit_rate: float
+    reports: int
+    max_report_delay: float
+
+
+def _aggregate(concurrency: int, faults: int,
+               character: CharacterizationResult,
+               seeds: Sequence[int],
+               prune_rpcs: bool = True) -> PrecisionCell:
+    thetas: List[float] = []
+    matched: List[int] = []
+    candidates: List[int] = []
+    hits: List[bool] = []
+    delay = 0.0
+    reports = 0
+    for seed in seeds:
+        config = GretelConfig(p_rate=p_rate_for(concurrency), prune_rpcs=prune_rpcs)
+        stats = run_fault_workload(
+            concurrency=concurrency, n_faults=faults,
+            character=character, seed=seed, config=config,
+        )
+        thetas.extend(stats.thetas())
+        matched.extend(stats.matched_counts())
+        candidates.extend(stats.candidate_counts())
+        hits.extend(stats.true_hits())
+        delay = max(delay, stats.max_report_delay())
+        reports += len(stats.operational)
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+    return PrecisionCell(
+        concurrency=concurrency, faults=faults,
+        theta=mean(thetas), matched_mean=mean(matched),
+        candidates_mean=mean(candidates),
+        true_hit_rate=mean([1.0 if h else 0.0 for h in hits]),
+        reports=reports, max_report_delay=delay,
+    )
+
+
+def run_fig7a(
+    character: Optional[CharacterizationResult] = None,
+    *,
+    concurrencies: Sequence[int] = CONCURRENCIES,
+    fault_counts: Sequence[int] = FAULT_COUNTS,
+    seeds: Sequence[int] = (3, 4),
+) -> List[PrecisionCell]:
+    """The full precision grid."""
+    character = character or default_characterization()
+    return [
+        _aggregate(concurrency, faults, character, seeds)
+        for concurrency in concurrencies
+        for faults in fault_counts
+    ]
+
+
+def run_fig7b(
+    character: Optional[CharacterizationResult] = None,
+    *,
+    concurrencies: Sequence[int] = CONCURRENCIES,
+    seeds: Sequence[int] = (3, 4),
+) -> List[PrecisionCell]:
+    """Operations matched (API error only vs snapshot), 8 faults."""
+    character = character or default_characterization()
+    return [
+        _aggregate(concurrency, 8, character, seeds)
+        for concurrency in concurrencies
+    ]
+
+
+def run_fig7c(
+    character: Optional[CharacterizationResult] = None,
+    *,
+    seeds: Sequence[int] = (3, 4, 5),
+) -> Dict[str, PrecisionCell]:
+    """RPC pruning ablation: 100 tests, 8 faults."""
+    character = character or default_characterization()
+    return {
+        "without_rpcs": _aggregate(100, 8, character, seeds, prune_rpcs=True),
+        "with_rpcs": _aggregate(100, 8, character, seeds, prune_rpcs=False),
+    }
+
+
+def format_fig7a(cells: List[PrecisionCell]) -> str:
+    """Render the Fig. 7a grid."""
+    lines = [
+        "Fig. 7a: precision θ (paper: >98% in all scenarios)",
+        f"{'conc':>6s} {'faults':>7s} {'theta':>8s} {'true-hit':>9s} "
+        f"{'reports':>8s} {'max delay':>10s}",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell.concurrency:6d} {cell.faults:7d} {cell.theta:8.4f} "
+            f"{cell.true_hit_rate:9.2f} {cell.reports:8d} "
+            f"{cell.max_report_delay:9.2f}s"
+        )
+    return "\n".join(lines)
+
+
+def format_fig7b(cells: List[PrecisionCell]) -> str:
+    """Render the Fig. 7b comparison."""
+    lines = [
+        "Fig. 7b: operations matched per fault, 8 injected faults",
+        f"{'conc':>6s} {'with API error':>15s} {'with snapshot':>14s}",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell.concurrency:6d} {cell.candidates_mean:15.1f} "
+            f"{cell.matched_mean:14.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig7c(cells: Dict[str, PrecisionCell]) -> str:
+    """Render the Fig. 7c ablation."""
+    lines = [
+        "Fig. 7c: RPC pruning (100 tests, 8 faults)",
+        f"{'variant':>14s} {'matched':>9s} {'theta':>8s}",
+    ]
+    for name, cell in cells.items():
+        lines.append(f"{name:>14s} {cell.matched_mean:9.1f} {cell.theta:8.4f}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    character = default_characterization()
+    print(format_fig7a(run_fig7a(character)))
+    print(format_fig7b(run_fig7b(character)))
+    print(format_fig7c(run_fig7c(character)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

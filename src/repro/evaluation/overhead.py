@@ -1,0 +1,152 @@
+"""§7.4.2 — analyzer system overhead.
+
+The paper ran 100 parallel Tempest tests (~6 min) and measured the
+analyzer at ~4.26 % peak CPU and ~123 MB, with Bro agents under
+12.38 % CPU and ~1 GB.  We run the same workload shape and report:
+
+* the wall-clock share of the experiment spent inside the analyzer's
+  ``on_event`` path plus detection (its "CPU share"),
+* the peak additional memory allocated while the analyzer ran
+  (via :mod:`tracemalloc`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.characterize import CharacterizationResult
+from repro.core.config import GretelConfig
+from repro.evaluation.common import (
+    default_characterization,
+    default_suite,
+    make_monitored_analyzer,
+    p_rate_for,
+)
+from repro.workloads.runner import WorkloadRunner
+
+PAPER_CPU_SHARE = 0.0426
+PAPER_MEMORY_MB = 123.0
+
+
+@dataclass
+class OverheadResult:
+    """Measured analyzer overhead."""
+
+    events_processed: int
+    total_wall_seconds: float
+    analyzer_wall_seconds: float
+    simulated_seconds: float
+    peak_memory_mb: float
+    reports: int
+
+    @property
+    def cpu_share(self) -> float:
+        """Analyzer CPU-seconds per second of simulated workload."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.analyzer_wall_seconds / self.simulated_seconds
+
+    @property
+    def per_event_cost(self) -> float:
+        """Analyzer CPU-seconds per processed event."""
+        if not self.events_processed:
+            return 0.0
+        return self.analyzer_wall_seconds / self.events_processed
+
+    def projected_share(self, duration: float = 360.0) -> float:
+        """Projected CPU share for a paper-scale run.
+
+        The paper's 100 parallel tests ran for ~6 minutes of real time;
+        our simulated operations complete ~100x faster, which inflates
+        the naive CPU-share ratio.  Projecting the measured per-event
+        cost onto the same event volume spread over the paper's
+        duration gives the comparable number.
+        """
+        if duration <= 0:
+            return 0.0
+        return self.per_event_cost * self.events_processed / duration
+
+
+def run(
+    character: Optional[CharacterizationResult] = None,
+    *,
+    concurrency: int = 100,
+    seed: int = 17,
+) -> OverheadResult:
+    """100 parallel tests with the analyzer's cost instrumented."""
+    character = character or default_characterization()
+    config = GretelConfig(p_rate=p_rate_for(concurrency))
+    cloud, plane, analyzer = make_monitored_analyzer(
+        character, seed=seed, concurrency=concurrency,
+        config=config, track_latency=True,
+    )
+
+    # Wrap the analyzer entry point to accumulate its wall time.
+    spent = [0.0]
+    original = analyzer.on_event
+
+    def timed(event):
+        started = time.perf_counter()
+        original(event)
+        spent[0] += time.perf_counter() - started
+
+    plane.network_agents  # agents already subscribed to `original`...
+    # ...so re-point their subscription lists at the timed wrapper.
+    for agent in plane.network_agents.values():
+        agent._subscribers = [
+            timed if cb == original else cb for cb in agent._subscribers
+        ]
+
+    rng = random.Random(seed)
+    tests = default_suite().sample(concurrency, rng)
+    runner = WorkloadRunner(cloud)
+
+    tracemalloc.start()
+    started = time.perf_counter()
+    sim_start = cloud.sim.now
+    runner.run_concurrent(tests, stagger=0.01, settle=2.0)
+    analyzer.flush()
+    total = time.perf_counter() - started
+    simulated = cloud.sim.now - sim_start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    return OverheadResult(
+        events_processed=analyzer.events_processed,
+        total_wall_seconds=total,
+        analyzer_wall_seconds=spent[0] + analyzer.analysis_seconds,
+        simulated_seconds=simulated,
+        peak_memory_mb=peak / 1e6,
+        reports=len(analyzer.reports),
+    )
+
+
+def format_report(result: OverheadResult) -> str:
+    """Render the §7.4.2 overhead summary."""
+    return "\n".join([
+        "§7.4.2: analyzer overhead under 100 parallel tests",
+        f"  events processed: {result.events_processed}; "
+        f"reports: {result.reports}; workload spans "
+        f"{result.simulated_seconds:.1f}s of deployment time",
+        f"  analyzer CPU time: {result.analyzer_wall_seconds:.3f}s "
+        f"({result.per_event_cost * 1e6:.0f} us/event); naive share "
+        f"{result.cpu_share:.2%} of one core over the compressed "
+        f"simulated time",
+        f"  projected share over the paper's ~6-minute run: "
+        f"{result.projected_share():.2%} (paper: ~{PAPER_CPU_SHARE:.2%})",
+        f"  peak additional memory: {result.peak_memory_mb:.1f} MB "
+        f"(paper: ~{PAPER_MEMORY_MB:.0f} MB; ours holds only the "
+        f"sliding window + fingerprints)",
+    ])
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,45 @@
+"""Network monitoring agents (the Bro substitute).
+
+One agent per node attaches to the tap bus and forwards every captured
+wire event to its subscribers over a per-agent FIFO channel.  The
+paper's §5.2 ordering argument carries over: each agent ships events
+over one TCP connection, so per-agent order is preserved; the event
+receiver merges agent streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.wire import WireEvent
+
+
+class NetworkAgent:
+    """Egress packet capture on one node."""
+
+    def __init__(self, cloud: Cloud, node: str,
+                 forward_delay: float = 0.0005):
+        self.cloud = cloud
+        self.node = node
+        self.forward_delay = forward_delay
+        self._subscribers: List[Callable[[WireEvent], None]] = []
+        self.captured = 0
+        cloud.taps.attach(node, self._on_capture)
+
+    def subscribe(self, callback: Callable[[WireEvent], None]) -> None:
+        """Register a downstream consumer (the event receiver)."""
+        self._subscribers.append(callback)
+
+    def _on_capture(self, event: WireEvent) -> None:
+        self.captured += 1
+        if self.forward_delay > 0:
+            # One Broccoli hop to the analyzer; FIFO scheduling in the
+            # kernel preserves per-agent order.
+            self.cloud.sim.schedule(self.forward_delay, self._deliver, event)
+        else:
+            self._deliver(event)
+
+    def _deliver(self, event: WireEvent) -> None:
+        for callback in self._subscribers:
+            callback(event)

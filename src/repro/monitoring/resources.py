@@ -1,0 +1,59 @@
+"""Resource monitoring agents (the collectd substitute).
+
+One agent per node polls the node's resource model once per
+``interval`` (the paper set collectd's poll frequency to 1 s) and
+forwards each sample to its subscribers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro.sim import Process, Timeout
+from repro.openstack.cloud import Cloud
+from repro.openstack.resources import ResourceSample
+
+
+class ResourceAgent:
+    """Periodic resource sampler for one node."""
+
+    def __init__(self, cloud: Cloud, node: str, interval: float = 1.0):
+        self.cloud = cloud
+        self.node = node
+        self.interval = interval
+        self._subscribers: List[Callable[[ResourceSample], None]] = []
+        self._process: Optional[Process] = None
+        self.samples_taken = 0
+
+    def subscribe(self, callback: Callable[[ResourceSample], None]) -> None:
+        """Register a downstream consumer (the metadata store)."""
+        self._subscribers.append(callback)
+
+    def start(self) -> None:
+        """Begin polling (idempotent)."""
+        if self._process is None or not self._process.alive:
+            self._process = self.cloud.sim.spawn(
+                self._loop(), name=f"collectd:{self.node}"
+            )
+
+    def stop(self) -> None:
+        """Stop polling."""
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def poll_once(self) -> ResourceSample:
+        """Take one sample immediately and deliver it."""
+        sample = self.cloud.resources[self.node].sample(self.cloud.sim.now)
+        self.samples_taken += 1
+        for callback in self._subscribers:
+            callback(sample)
+        return sample
+
+    def _loop(self) -> Generator:
+        # Stagger agents slightly so all nodes do not sample in lockstep.
+        rng = self.cloud.rnd.stream(f"collectd.{self.node}")
+        yield Timeout(rng.uniform(0.0, self.interval))
+        while True:
+            self.poll_once()
+            yield Timeout(self.interval)

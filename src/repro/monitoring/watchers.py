@@ -1,0 +1,66 @@
+"""Dependency watchers: health of third-party software per node.
+
+GRETEL "maintains watchers on third-party software dependencies" and
+"has watchers to detect TCP-level reachability to MySQL, RabbitMQ and
+NTP servers" (§5.1, §6).  Each watcher polls the process table of its
+node and reports every process's liveness; transitions are what the
+root-cause engine keys on (§7.2.3, §7.2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro.sim import Process, Timeout
+from repro.openstack.cloud import Cloud
+from repro.monitoring.store import WatcherReport
+
+
+class DependencyWatcher:
+    """Periodic software-dependency poller for one node."""
+
+    def __init__(self, cloud: Cloud, node: str, interval: float = 1.0):
+        self.cloud = cloud
+        self.node = node
+        self.interval = interval
+        self._subscribers: List[Callable[[WatcherReport], None]] = []
+        self._process: Optional[Process] = None
+        self.polls = 0
+
+    def subscribe(self, callback: Callable[[WatcherReport], None]) -> None:
+        """Register a downstream consumer (the metadata store)."""
+        self._subscribers.append(callback)
+
+    def start(self) -> None:
+        """Begin polling (idempotent)."""
+        if self._process is None or not self._process.alive:
+            self._process = self.cloud.sim.spawn(
+                self._loop(), name=f"watcher:{self.node}"
+            )
+
+    def stop(self) -> None:
+        """Stop polling."""
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def poll_once(self) -> List[WatcherReport]:
+        """Check every installed process now and deliver the reports."""
+        now = self.cloud.sim.now
+        reports = []
+        for process in self.cloud.processes.on_node(self.node):
+            report = WatcherReport(
+                node=self.node, ts=now, process=process.name, alive=process.alive
+            )
+            reports.append(report)
+            for callback in self._subscribers:
+                callback(report)
+        self.polls += 1
+        return reports
+
+    def _loop(self) -> Generator:
+        rng = self.cloud.rnd.stream(f"watcher.{self.node}")
+        yield Timeout(rng.uniform(0.0, self.interval))
+        while True:
+            self.poll_once()
+            yield Timeout(self.interval)

@@ -1,0 +1,640 @@
+"""The universe of OpenStack APIs known to the simulated deployment.
+
+The paper observes that "OpenStack components expose a total of 643
+public APIs through their REST clients and CLIs" (§7.1) and that
+intra-service communication uses a finite set of RPC methods.  This
+module enumerates a matching universe:
+
+* explicit REST endpoints per service, modelled on the Liberty-era
+  Nova/Neutron/Glance/Cinder/Keystone/Swift APIs, topped up with the
+  admin/extension endpoints every deployment carries so the public
+  REST surface is exactly :data:`PUBLIC_REST_API_COUNT` (643);
+* RPC methods per service topic (nova-compute, neutron agents,
+  cinder-volume, ...), including the periodic heartbeat / state-report
+  RPCs that GRETEL's fingerprint generation filters as noise.
+
+The catalog is deterministic: building it twice yields identical API
+sets in identical order, which keeps fingerprints and symbol tables
+stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.openstack.apis import Api, ApiKind
+
+#: The paper's count of public OpenStack APIs (§7.1).
+PUBLIC_REST_API_COUNT = 643
+
+
+# ---------------------------------------------------------------------------
+# REST endpoint enumeration helpers
+# ---------------------------------------------------------------------------
+
+def _crud(
+    base: str,
+    *,
+    detail: bool = True,
+    create: bool = True,
+    update: bool = True,
+    delete: bool = True,
+    list_detail: bool = False,
+) -> List[Tuple[str, str]]:
+    """Standard (method, path) tuples for a REST resource collection."""
+    endpoints: List[Tuple[str, str]] = [("GET", base)]
+    if list_detail:
+        endpoints.append(("GET", f"{base}/detail"))
+    if create:
+        endpoints.append(("POST", base))
+    if detail:
+        endpoints.append(("GET", f"{base}/{{id}}"))
+    if update:
+        endpoints.append(("PUT", f"{base}/{{id}}"))
+    if delete:
+        endpoints.append(("DELETE", f"{base}/{{id}}"))
+    return endpoints
+
+
+def _actions(base: str, names: Iterable[str]) -> List[Tuple[str, str]]:
+    """POST action endpoints (``/resource/{id}/action#name``).
+
+    Real Nova multiplexes actions over one URL with a JSON body; we keep
+    the action name in the path so each action is a distinct API
+    identity, exactly as the paper's symbol table treats them.
+    """
+    return [("POST", f"{base}/{{id}}/action#{name}") for name in names]
+
+
+_NOVA_SERVER_ACTIONS = [
+    "reboot", "resize", "confirmResize", "revertResize", "rebuild",
+    "createImage", "os-start", "os-stop", "pause", "unpause", "suspend",
+    "resume", "lock", "unlock", "rescue", "unrescue", "shelve",
+    "unshelve", "shelveOffload", "migrate", "os-migrateLive", "evacuate",
+    "addSecurityGroup", "removeSecurityGroup", "addFloatingIp",
+    "removeFloatingIp", "changePassword", "os-getConsoleOutput",
+    "os-getVNCConsole", "os-getSPICEConsole", "os-getSerialConsole",
+    "os-resetState", "injectNetworkInfo", "resetNetwork",
+    "forceDelete", "restore", "trigger_crash_dump",
+]
+
+
+def _nova_rest() -> List[Tuple[str, str]]:
+    v = "/v2.1"
+    eps: List[Tuple[str, str]] = []
+    eps += _crud(f"{v}/servers", list_detail=True)
+    eps += _actions(f"{v}/servers", _NOVA_SERVER_ACTIONS)
+    eps += [
+        ("GET", f"{v}/servers/{{id}}/ips"),
+        ("GET", f"{v}/servers/{{id}}/ips/{{network}}"),
+        ("GET", f"{v}/servers/{{id}}/diagnostics"),
+        ("GET", f"{v}/servers/{{id}}/os-instance-actions"),
+        ("GET", f"{v}/servers/{{id}}/os-instance-actions/{{action_id}}"),
+        ("GET", f"{v}/servers/{{id}}/os-interface"),
+        ("POST", f"{v}/servers/{{id}}/os-interface"),
+        ("GET", f"{v}/servers/{{id}}/os-interface/{{port_id}}"),
+        ("DELETE", f"{v}/servers/{{id}}/os-interface/{{port_id}}"),
+        ("GET", f"{v}/servers/{{id}}/os-volume_attachments"),
+        ("POST", f"{v}/servers/{{id}}/os-volume_attachments"),
+        ("GET", f"{v}/servers/{{id}}/os-volume_attachments/{{vol_id}}"),
+        ("DELETE", f"{v}/servers/{{id}}/os-volume_attachments/{{vol_id}}"),
+        ("GET", f"{v}/servers/{{id}}/metadata"),
+        ("PUT", f"{v}/servers/{{id}}/metadata"),
+        ("POST", f"{v}/servers/{{id}}/metadata"),
+        ("GET", f"{v}/servers/{{id}}/metadata/{{key}}"),
+        ("PUT", f"{v}/servers/{{id}}/metadata/{{key}}"),
+        ("DELETE", f"{v}/servers/{{id}}/metadata/{{key}}"),
+        ("GET", f"{v}/servers/{{id}}/os-security-groups"),
+        ("GET", f"{v}/servers/{{id}}/tags"),
+        ("PUT", f"{v}/servers/{{id}}/tags"),
+        ("DELETE", f"{v}/servers/{{id}}/tags"),
+    ]
+    eps += _crud(f"{v}/flavors", update=False, list_detail=True)
+    eps += [
+        ("GET", f"{v}/flavors/{{id}}/os-extra_specs"),
+        ("POST", f"{v}/flavors/{{id}}/os-extra_specs"),
+        ("PUT", f"{v}/flavors/{{id}}/os-extra_specs/{{key}}"),
+        ("DELETE", f"{v}/flavors/{{id}}/os-extra_specs/{{key}}"),
+        ("POST", f"{v}/flavors/{{id}}/os-flavor-access#add"),
+        ("POST", f"{v}/flavors/{{id}}/os-flavor-access#remove"),
+        ("GET", f"{v}/flavors/{{id}}/os-flavor-access"),
+    ]
+    eps += _crud(f"{v}/os-keypairs", update=False)
+    eps += _crud(f"{v}/images", create=False, update=False, list_detail=True)
+    eps += [
+        ("GET", f"{v}/images/{{id}}/metadata"),
+        ("PUT", f"{v}/images/{{id}}/metadata"),
+    ]
+    eps += _crud(f"{v}/os-aggregates")
+    eps += [
+        ("POST", f"{v}/os-aggregates/{{id}}/action#add_host"),
+        ("POST", f"{v}/os-aggregates/{{id}}/action#remove_host"),
+        ("POST", f"{v}/os-aggregates/{{id}}/action#set_metadata"),
+    ]
+    eps += [
+        ("GET", f"{v}/os-services"),
+        ("PUT", f"{v}/os-services/enable"),
+        ("PUT", f"{v}/os-services/disable"),
+        ("PUT", f"{v}/os-services/disable-log-reason"),
+        ("DELETE", f"{v}/os-services/{{id}}"),
+        ("GET", f"{v}/os-hypervisors"),
+        ("GET", f"{v}/os-hypervisors/detail"),
+        ("GET", f"{v}/os-hypervisors/{{id}}"),
+        ("GET", f"{v}/os-hypervisors/statistics"),
+        ("GET", f"{v}/os-hypervisors/{{id}}/uptime"),
+        ("GET", f"{v}/os-hosts"),
+        ("GET", f"{v}/os-hosts/{{id}}"),
+        ("PUT", f"{v}/os-hosts/{{id}}"),
+        ("GET", f"{v}/os-availability-zone"),
+        ("GET", f"{v}/os-availability-zone/detail"),
+        ("GET", f"{v}/os-migrations"),
+        ("GET", f"{v}/limits"),
+        ("GET", f"{v}/os-quota-sets/{{tenant}}"),
+        ("PUT", f"{v}/os-quota-sets/{{tenant}}"),
+        ("DELETE", f"{v}/os-quota-sets/{{tenant}}"),
+        ("GET", f"{v}/os-quota-sets/{{tenant}}/defaults"),
+        ("GET", f"{v}/os-simple-tenant-usage"),
+        ("GET", f"{v}/os-simple-tenant-usage/{{tenant}}"),
+        ("GET", f"{v}/os-server-groups"),
+        ("POST", f"{v}/os-server-groups"),
+        ("GET", f"{v}/os-server-groups/{{id}}"),
+        ("DELETE", f"{v}/os-server-groups/{{id}}"),
+        ("GET", f"{v}/os-floating-ips"),
+        ("POST", f"{v}/os-floating-ips"),
+        ("GET", f"{v}/os-floating-ips/{{id}}"),
+        ("DELETE", f"{v}/os-floating-ips/{{id}}"),
+        ("GET", f"{v}/os-floating-ip-pools"),
+        ("GET", f"{v}/os-networks"),
+        ("GET", f"{v}/os-networks/{{id}}"),
+        ("GET", f"{v}/os-security-groups"),
+        ("POST", f"{v}/os-security-groups"),
+        ("GET", f"{v}/os-security-groups/{{id}}"),
+        ("PUT", f"{v}/os-security-groups/{{id}}"),
+        ("DELETE", f"{v}/os-security-groups/{{id}}"),
+        ("POST", f"{v}/os-security-group-rules"),
+        ("DELETE", f"{v}/os-security-group-rules/{{id}}"),
+        ("GET", f"{v}/os-consoles/{{server}}"),
+        ("POST", f"{v}/os-console-auth-tokens"),
+        ("GET", f"{v}/os-instance_usage_audit_log"),
+        ("GET", f"{v}/os-assisted-volume-snapshots"),
+        ("POST", f"{v}/os-assisted-volume-snapshots"),
+        ("DELETE", f"{v}/os-assisted-volume-snapshots/{{id}}"),
+        ("POST", f"{v}/os-server-external-events"),
+        ("GET", f"{v}/extensions"),
+        ("GET", f"{v}/extensions/{{alias}}"),
+        ("GET", f"{v}/"),
+    ]
+    return eps
+
+
+def _neutron_rest() -> List[Tuple[str, str]]:
+    v = "/v2.0"
+    eps: List[Tuple[str, str]] = []
+    for resource in (
+        "networks", "subnets", "ports", "routers", "floatingips",
+        "security-groups", "security-group-rules", "subnetpools",
+        "address-scopes", "qos/policies", "metering/metering-labels",
+        "metering/metering-label-rules",
+    ):
+        full = resource in ("networks", "subnets", "ports", "routers", "floatingips",
+                            "security-groups", "subnetpools", "address-scopes",
+                            "qos/policies")
+        eps += _crud(f"{v}/{resource}.json", update=full)
+    eps += [
+        ("PUT", f"{v}/routers/{{id}}/add_router_interface"),
+        ("PUT", f"{v}/routers/{{id}}/remove_router_interface"),
+        ("PUT", f"{v}/routers/{{id}}/add_extraroutes"),
+        ("PUT", f"{v}/routers/{{id}}/remove_extraroutes"),
+        ("GET", f"{v}/agents"),
+        ("GET", f"{v}/agents/{{id}}"),
+        ("PUT", f"{v}/agents/{{id}}"),
+        ("DELETE", f"{v}/agents/{{id}}"),
+        ("GET", f"{v}/agents/{{id}}/dhcp-networks"),
+        ("POST", f"{v}/agents/{{id}}/dhcp-networks"),
+        ("GET", f"{v}/agents/{{id}}/l3-routers"),
+        ("POST", f"{v}/agents/{{id}}/l3-routers"),
+        ("GET", f"{v}/quotas.json"),
+        ("GET", f"{v}/quotas/{{tenant}}"),
+        ("PUT", f"{v}/quotas/{{tenant}}"),
+        ("DELETE", f"{v}/quotas/{{tenant}}"),
+        ("GET", f"{v}/quotas/{{tenant}}/default"),
+        ("GET", f"{v}/extensions.json"),
+        ("GET", f"{v}/extensions/{{alias}}"),
+        ("GET", f"{v}/service-providers"),
+        ("GET", f"{v}/availability_zones"),
+        ("GET", f"{v}/"),
+    ]
+    return eps
+
+
+def _glance_rest() -> List[Tuple[str, str]]:
+    eps: List[Tuple[str, str]] = []
+    eps += [
+        ("GET", "/v2/images"),
+        ("POST", "/v2/images"),
+        ("GET", "/v2/images/{id}"),
+        ("PATCH", "/v2/images/{id}"),
+        ("DELETE", "/v2/images/{id}"),
+        ("PUT", "/v2/images/{id}/file"),
+        ("GET", "/v2/images/{id}/file"),
+        ("POST", "/v2/images/{id}/actions/deactivate"),
+        ("POST", "/v2/images/{id}/actions/reactivate"),
+        ("GET", "/v2/images/{id}/members"),
+        ("POST", "/v2/images/{id}/members"),
+        ("GET", "/v2/images/{id}/members/{member}"),
+        ("PUT", "/v2/images/{id}/members/{member}"),
+        ("DELETE", "/v2/images/{id}/members/{member}"),
+        ("PUT", "/v2/images/{id}/tags/{tag}"),
+        ("DELETE", "/v2/images/{id}/tags/{tag}"),
+        ("GET", "/v2/schemas/image"),
+        ("GET", "/v2/schemas/images"),
+        ("GET", "/v2/schemas/member"),
+        ("GET", "/v2/schemas/members"),
+        ("GET", "/v2/tasks"),
+        ("POST", "/v2/tasks"),
+        ("GET", "/v2/tasks/{id}"),
+        ("GET", "/v2/metadefs/namespaces"),
+        ("POST", "/v2/metadefs/namespaces"),
+        ("GET", "/v2/metadefs/namespaces/{ns}"),
+        ("PUT", "/v2/metadefs/namespaces/{ns}"),
+        ("DELETE", "/v2/metadefs/namespaces/{ns}"),
+        ("GET", "/v2/metadefs/namespaces/{ns}/objects"),
+        ("POST", "/v2/metadefs/namespaces/{ns}/objects"),
+        ("GET", "/v2/metadefs/namespaces/{ns}/objects/{obj}"),
+        ("PUT", "/v2/metadefs/namespaces/{ns}/objects/{obj}"),
+        ("DELETE", "/v2/metadefs/namespaces/{ns}/objects/{obj}"),
+        ("GET", "/v2/metadefs/namespaces/{ns}/properties"),
+        ("POST", "/v2/metadefs/namespaces/{ns}/properties"),
+        ("GET", "/v2/metadefs/resource_types"),
+        ("GET", "/v2/"),
+    ]
+    return eps
+
+
+def _cinder_rest() -> List[Tuple[str, str]]:
+    v = "/v2/{tenant}"
+    eps: List[Tuple[str, str]] = []
+    eps += _crud(f"{v}/volumes", list_detail=True)
+    eps += _actions(f"{v}/volumes", [
+        "os-attach", "os-detach", "os-reserve", "os-unreserve",
+        "os-begin_detaching", "os-roll_detaching", "os-initialize_connection",
+        "os-terminate_connection", "os-extend", "os-retype",
+        "os-set_bootable", "os-force_delete", "os-force_detach",
+        "os-migrate_volume", "os-update_readonly_flag", "os-volume_upload_image",
+    ])
+    eps += [
+        ("GET", f"{v}/volumes/{{id}}/metadata"),
+        ("PUT", f"{v}/volumes/{{id}}/metadata"),
+        ("POST", f"{v}/volumes/{{id}}/metadata"),
+        ("DELETE", f"{v}/volumes/{{id}}/metadata/{{key}}"),
+    ]
+    eps += _crud(f"{v}/snapshots", list_detail=True)
+    eps += [
+        ("GET", f"{v}/snapshots/{{id}}/metadata"),
+        ("PUT", f"{v}/snapshots/{{id}}/metadata"),
+    ]
+    eps += _crud(f"{v}/backups", update=False, list_detail=True)
+    eps += [
+        ("POST", f"{v}/backups/{{id}}/restore"),
+        ("POST", f"{v}/backups/{{id}}/action#os-force_delete"),
+    ]
+    eps += _crud(f"{v}/types")
+    eps += [
+        ("GET", f"{v}/types/{{id}}/extra_specs"),
+        ("POST", f"{v}/types/{{id}}/extra_specs"),
+        ("PUT", f"{v}/types/{{id}}/extra_specs/{{key}}"),
+        ("DELETE", f"{v}/types/{{id}}/extra_specs/{{key}}"),
+    ]
+    eps += _crud(f"{v}/qos-specs")
+    eps += [
+        ("PUT", f"{v}/qos-specs/{{id}}/associate"),
+        ("PUT", f"{v}/qos-specs/{{id}}/disassociate"),
+        ("GET", f"{v}/qos-specs/{{id}}/associations"),
+    ]
+    eps += _crud(f"{v}/os-volume-transfer", update=False)
+    eps += [
+        ("POST", f"{v}/os-volume-transfer/{{id}}/accept"),
+        ("GET", f"{v}/limits"),
+        ("GET", f"{v}/os-quota-sets/{{target}}"),
+        ("PUT", f"{v}/os-quota-sets/{{target}}"),
+        ("DELETE", f"{v}/os-quota-sets/{{target}}"),
+        ("GET", f"{v}/os-quota-sets/{{target}}/defaults"),
+        ("GET", f"{v}/os-services"),
+        ("PUT", f"{v}/os-services/enable"),
+        ("PUT", f"{v}/os-services/disable"),
+        ("GET", f"{v}/scheduler-stats/get_pools"),
+        ("GET", f"{v}/os-availability-zone"),
+        ("GET", "/v2/"),
+    ]
+    return eps
+
+
+def _keystone_rest() -> List[Tuple[str, str]]:
+    v = "/v3"
+    eps: List[Tuple[str, str]] = []
+    eps += [
+        ("POST", f"{v}/auth/tokens"),
+        ("GET", f"{v}/auth/tokens"),
+        ("HEAD", f"{v}/auth/tokens"),
+        ("DELETE", f"{v}/auth/tokens"),
+        ("GET", f"{v}/auth/projects"),
+        ("GET", f"{v}/auth/domains"),
+        ("GET", f"{v}/auth/catalog"),
+    ]
+    for resource in ("users", "projects", "domains", "groups", "roles",
+                     "services", "endpoints", "regions", "credentials",
+                     "policies"):
+        eps += _crud(f"{v}/{resource}")
+    eps += [
+        ("GET", f"{v}/users/{{id}}/groups"),
+        ("GET", f"{v}/users/{{id}}/projects"),
+        ("POST", f"{v}/users/{{id}}/password"),
+        ("PUT", f"{v}/groups/{{id}}/users/{{user}}"),
+        ("DELETE", f"{v}/groups/{{id}}/users/{{user}}"),
+        ("HEAD", f"{v}/groups/{{id}}/users/{{user}}"),
+        ("GET", f"{v}/groups/{{id}}/users"),
+        ("PUT", f"{v}/projects/{{id}}/users/{{user}}/roles/{{role}}"),
+        ("DELETE", f"{v}/projects/{{id}}/users/{{user}}/roles/{{role}}"),
+        ("HEAD", f"{v}/projects/{{id}}/users/{{user}}/roles/{{role}}"),
+        ("GET", f"{v}/projects/{{id}}/users/{{user}}/roles"),
+        ("PUT", f"{v}/domains/{{id}}/users/{{user}}/roles/{{role}}"),
+        ("DELETE", f"{v}/domains/{{id}}/users/{{user}}/roles/{{role}}"),
+        ("GET", f"{v}/role_assignments"),
+        ("GET", f"{v}/"),
+    ]
+    return eps
+
+
+def _swift_rest() -> List[Tuple[str, str]]:
+    base = "/v1/{account}"
+    return [
+        ("GET", base),
+        ("HEAD", base),
+        ("POST", base),
+        ("GET", f"{base}/{{container}}"),
+        ("PUT", f"{base}/{{container}}"),
+        ("POST", f"{base}/{{container}}"),
+        ("DELETE", f"{base}/{{container}}"),
+        ("HEAD", f"{base}/{{container}}"),
+        ("GET", f"{base}/{{container}}/{{object}}"),
+        ("PUT", f"{base}/{{container}}/{{object}}"),
+        ("POST", f"{base}/{{container}}/{{object}}"),
+        ("DELETE", f"{base}/{{container}}/{{object}}"),
+        ("HEAD", f"{base}/{{container}}/{{object}}"),
+        ("GET", "/info"),
+    ]
+
+
+#: REST builders per service, in deterministic order.
+_REST_BUILDERS = (
+    ("nova", _nova_rest),
+    ("neutron", _neutron_rest),
+    ("glance", _glance_rest),
+    ("cinder", _cinder_rest),
+    ("keystone", _keystone_rest),
+    ("swift", _swift_rest),
+)
+
+
+# ---------------------------------------------------------------------------
+# RPC enumeration
+# ---------------------------------------------------------------------------
+
+# (method, name) — "call" blocks on a reply, "cast" is fire-and-forget.
+_NOVA_RPC_METHODS: Sequence[Tuple[str, str]] = (
+    ("cast", "build_and_run_instance"),
+    ("call", "select_destinations"),
+    ("cast", "terminate_instance"),
+    ("cast", "reboot_instance"),
+    ("cast", "stop_instance"),
+    ("cast", "start_instance"),
+    ("cast", "pause_instance"),
+    ("cast", "unpause_instance"),
+    ("cast", "suspend_instance"),
+    ("cast", "resume_instance"),
+    ("cast", "rescue_instance"),
+    ("cast", "unrescue_instance"),
+    ("cast", "shelve_instance"),
+    ("cast", "unshelve_instance"),
+    ("cast", "shelve_offload_instance"),
+    ("cast", "snapshot_instance"),
+    ("cast", "backup_instance"),
+    ("cast", "rebuild_instance"),
+    ("call", "prep_resize"),
+    ("cast", "resize_instance"),
+    ("cast", "confirm_resize"),
+    ("cast", "revert_resize"),
+    ("cast", "finish_resize"),
+    ("cast", "live_migration"),
+    ("call", "pre_live_migration"),
+    ("cast", "post_live_migration_at_destination"),
+    ("call", "check_can_live_migrate_destination"),
+    ("call", "check_can_live_migrate_source"),
+    ("cast", "rollback_live_migration_at_destination"),
+    ("call", "attach_volume"),
+    ("call", "detach_volume"),
+    ("call", "swap_volume"),
+    ("call", "attach_interface"),
+    ("call", "detach_interface"),
+    ("call", "get_console_output"),
+    ("call", "get_vnc_console"),
+    ("call", "get_spice_console"),
+    ("call", "get_serial_console"),
+    ("call", "validate_console_port"),
+    ("call", "get_diagnostics"),
+    ("call", "get_instance_diagnostics"),
+    ("cast", "set_admin_password"),
+    ("cast", "inject_network_info"),
+    ("cast", "reset_network"),
+    ("cast", "add_fixed_ip_to_instance"),
+    ("cast", "remove_fixed_ip_from_instance"),
+    ("call", "get_host_uptime"),
+    ("call", "get_availability_zones"),
+    ("cast", "refresh_instance_security_rules"),
+    ("cast", "update_available_resource"),
+    ("call", "build_instances"),
+    ("cast", "instance_update"),
+    ("call", "object_class_action_versions"),
+    ("call", "object_action"),
+    ("cast", "emit_notification"),
+    ("call", "host_power_action"),
+    ("call", "set_host_enabled"),
+    ("call", "get_host_resources"),
+    ("cast", "restore_instance"),
+    ("cast", "soft_delete_instance"),
+    ("call", "quiesce_instance"),
+    ("call", "unquiesce_instance"),
+    ("cast", "volume_snapshot_create"),
+    ("cast", "volume_snapshot_delete"),
+    ("call", "external_instance_event"),
+)
+
+_NEUTRON_RPC_METHODS: Sequence[Tuple[str, str]] = (
+    ("call", "get_devices_details_list"),
+    ("call", "get_device_details"),
+    ("call", "security_group_info_for_devices"),
+    ("call", "security_group_rules_for_devices"),
+    ("call", "update_device_up"),
+    ("call", "update_device_down"),
+    ("call", "get_network_info"),
+    ("call", "get_dhcp_port"),
+    ("call", "create_dhcp_port"),
+    ("call", "update_dhcp_port"),
+    ("call", "release_dhcp_port"),
+    ("call", "get_active_networks_info"),
+    ("cast", "port_update"),
+    ("cast", "port_delete"),
+    ("cast", "network_update"),
+    ("cast", "network_delete"),
+    ("cast", "security_groups_rule_updated"),
+    ("cast", "security_groups_member_updated"),
+    ("call", "sync_routers"),
+    ("call", "get_router_ids"),
+    ("cast", "routers_updated"),
+    ("cast", "router_deleted"),
+    ("call", "get_agent_gateway_port"),
+    ("call", "update_floatingip_statuses"),
+    ("call", "get_ports_by_subnet"),
+    ("call", "tunnel_sync"),
+    ("cast", "tunnel_update"),
+    ("call", "get_subnet_for_dhcp_port"),
+)
+
+_CINDER_RPC_METHODS: Sequence[Tuple[str, str]] = (
+    ("cast", "create_volume"),
+    ("cast", "delete_volume"),
+    ("call", "initialize_connection"),
+    ("call", "terminate_connection"),
+    ("cast", "attach_volume"),
+    ("cast", "detach_volume"),
+    ("cast", "extend_volume"),
+    ("cast", "create_snapshot"),
+    ("cast", "delete_snapshot"),
+    ("cast", "create_backup"),
+    ("cast", "restore_backup"),
+    ("cast", "delete_backup"),
+    ("cast", "retype"),
+    ("cast", "migrate_volume"),
+    ("call", "get_capabilities"),
+    ("cast", "accept_transfer"),
+)
+
+#: Periodic/noise RPCs: heartbeats and state reports every agent emits.
+_NOISE_RPC_METHODS: Sequence[Tuple[str, str, str]] = (
+    ("nova", "cast", "report_state"),
+    ("nova", "cast", "service_update"),
+    ("nova", "call", "ping"),
+    ("neutron", "cast", "report_state"),
+    ("neutron", "call", "get_ports_statuses"),
+    ("cinder", "cast", "report_state"),
+    ("cinder", "cast", "update_service_capabilities"),
+)
+
+_RPC_BUILDERS = (
+    ("nova", _NOVA_RPC_METHODS),
+    ("neutron", _NEUTRON_RPC_METHODS),
+    ("cinder", _CINDER_RPC_METHODS),
+)
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ApiCatalog:
+    """Deterministic registry of every API in the deployment.
+
+    ``apis`` preserves build order; ``by_key`` provides O(1) lookup.
+    """
+
+    apis: List[Api] = field(default_factory=list)
+    by_key: Dict[str, Api] = field(default_factory=dict)
+
+    def add(self, api: Api) -> Api:
+        """Register an API; duplicate keys are rejected."""
+        if api.key in self.by_key:
+            raise ValueError(f"duplicate API key {api.key!r}")
+        self.apis.append(api)
+        self.by_key[api.key] = api
+        return api
+
+    def get(self, key: str) -> Api:
+        """Look up an API by canonical key; raises ``KeyError`` if absent."""
+        return self.by_key[key]
+
+    def find_rest(self, service: str, method: str, name: str) -> Api:
+        """Look up a REST API by components."""
+        return self.by_key[f"rest:{service}:{method}:{name}"]
+
+    def find_rpc(self, service: str, name: str) -> Api:
+        """Look up an RPC by service topic and method name."""
+        for method in ("call", "cast"):
+            api = self.by_key.get(f"rpc:{service}:{method}:{name}")
+            if api is not None:
+                return api
+        raise KeyError(f"no RPC {name!r} for service {service!r}")
+
+    @property
+    def rest_apis(self) -> List[Api]:
+        """All REST APIs, in build order."""
+        return [api for api in self.apis if api.kind is ApiKind.REST]
+
+    @property
+    def rpc_apis(self) -> List[Api]:
+        """All RPC APIs, in build order."""
+        return [api for api in self.apis if api.kind is ApiKind.RPC]
+
+    def of_service(self, service: str) -> List[Api]:
+        """All APIs implemented by ``service``."""
+        return [api for api in self.apis if api.service == service]
+
+    def __len__(self) -> int:
+        return len(self.apis)
+
+
+def build_catalog() -> ApiCatalog:
+    """Build the full API universe: 643 public REST APIs plus RPCs.
+
+    The explicit per-service enumerations above land close to the
+    paper's 643; the remainder is filled with the vendor-extension
+    endpoints (``/extensions/<vendor-N>``) that real deployments expose
+    through their clients but Tempest never touches — exactly the
+    paper's observation that Tempest covers only a subset of the 643.
+    """
+    catalog = ApiCatalog()
+    for service, builder in _REST_BUILDERS:
+        for method, name in builder():
+            noise = service == "keystone" and name.startswith("/v3/auth/tokens")
+            catalog.add(Api(ApiKind.REST, service, method, name, noise=noise))
+
+    rest_count = len(catalog.rest_apis)
+    if rest_count > PUBLIC_REST_API_COUNT:
+        raise AssertionError(
+            f"explicit REST enumeration ({rest_count}) exceeds the paper's "
+            f"{PUBLIC_REST_API_COUNT}; trim the endpoint lists"
+        )
+    fillers = PUBLIC_REST_API_COUNT - rest_count
+    services = [name for name, _ in _REST_BUILDERS]
+    for index in range(fillers):
+        service = services[index % len(services)]
+        catalog.add(Api(ApiKind.REST, service, "GET", f"/extensions/vendor-{index:03d}"))
+
+    for service, methods in _RPC_BUILDERS:
+        for method, name in methods:
+            catalog.add(Api(ApiKind.RPC, service, method, name))
+    for service, method, name in _NOISE_RPC_METHODS:
+        catalog.add(Api(ApiKind.RPC, service, method, name, noise=True))
+    return catalog
+
+
+_DEFAULT_CATALOG: Optional[ApiCatalog] = None
+
+
+def default_catalog() -> ApiCatalog:
+    """Shared immutable catalog instance (build once, reuse everywhere)."""
+    global _DEFAULT_CATALOG
+    if _DEFAULT_CATALOG is None:
+        _DEFAULT_CATALOG = build_catalog()
+    return _DEFAULT_CATALOG

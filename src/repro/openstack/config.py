@@ -1,0 +1,41 @@
+"""Tunables for the simulated OpenStack deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CloudConfig:
+    """Knobs controlling timing and background behaviour of the cloud.
+
+    Defaults are calibrated so that a single VM-create operation takes
+    a few hundred simulated milliseconds and a 400-operation parallel
+    workload produces a control-traffic rate in the ~150 packets/second
+    regime the paper reports for its testbed (§7).
+    """
+
+    #: Base service-side processing time for a REST handler, seconds.
+    rest_processing: float = 0.004
+    #: Base processing time for an RPC handler, seconds.
+    rpc_processing: float = 0.006
+    #: Multiplicative latency jitter bounds (uniform).
+    jitter_low: float = 0.9
+    jitter_high: float = 1.25
+    #: Keystone token validity; one auth leg per operation in practice.
+    token_ttl: float = 300.0
+    #: Interval of agent heartbeat RPCs (report_state), seconds.
+    heartbeat_interval: float = 10.0
+    #: Whether background heartbeat processes run at all.
+    heartbeats_enabled: bool = True
+    #: Default image size for uploads, GB.
+    image_size_gb: float = 2.0
+    #: Interval at which clients poll resource status (GET), seconds.
+    poll_interval: float = 0.05
+    #: Maximum status polls before a client gives up.
+    poll_limit: int = 40
+    #: Approximate wire size of a REST message pair, bytes (only used
+    #: to convert event throughput into Mbps like the paper's §7.4.1).
+    rest_size_bytes: int = 220
+    #: Approximate wire size of an RPC message pair, bytes.
+    rpc_size_bytes: int = 160

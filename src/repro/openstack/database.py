@@ -1,0 +1,115 @@
+"""Simulated MySQL: the state store every OpenStack service depends on.
+
+All OpenStack data "is stored and managed by MySQL" (§2).  The
+simulation keeps per-table dictionaries of records and charges a small
+latency per query; when the ``mysql`` process on its host node is down
+(fault injection), queries fail with a :class:`DependencyUnavailable`,
+which services surface as 500-class API errors — the operational-fault
+manifestation GRETEL detects on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.sim import Simulator, Timeout
+from repro.openstack.errors import DependencyUnavailable
+from repro.openstack.software import ProcessTable
+
+
+class Database:
+    """A tiny multi-table record store with simulated query latency."""
+
+    #: Simulated latency of one query, seconds.
+    QUERY_LATENCY = 0.0008
+
+    def __init__(self, sim: Simulator, processes: ProcessTable, host_node: str):
+        self.sim = sim
+        self.processes = processes
+        self.host_node = host_node
+        self._tables: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        self._ids = itertools.count(1)
+        self.query_count = 0
+
+    # -- availability --------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        """True while the mysql process on the host node is running."""
+        return self.processes.is_alive(self.host_node, "mysql")
+
+    def _check(self) -> None:
+        if not self.available:
+            raise DependencyUnavailable(
+                "mysql", f"MySQL on {self.host_node} is unreachable"
+            )
+
+    def new_id(self, prefix: str) -> str:
+        """A fresh deterministic UUID-like identifier."""
+        return f"{prefix}-{next(self._ids):08x}"
+
+    # -- query API (generators: must be driven with ``yield from``) -----------
+
+    def insert(self, table: str, record: Dict[str, Any]) -> Generator:
+        """Insert ``record`` (must carry an ``id``); returns the record."""
+        yield Timeout(self.QUERY_LATENCY)
+        self._check()
+        self.query_count += 1
+        if "id" not in record:
+            raise ValueError("records must carry an 'id' field")
+        self._tables.setdefault(table, {})[record["id"]] = dict(record)
+        return record
+
+    def insert_or_replace(self, table: str, record: Dict[str, Any]) -> Generator:
+        """Upsert by ``id`` (same cost and semantics as insert)."""
+        result = yield from self.insert(table, record)
+        return result
+
+    def get(self, table: str, record_id: str) -> Generator:
+        """Fetch one record or ``None``."""
+        yield Timeout(self.QUERY_LATENCY)
+        self._check()
+        self.query_count += 1
+        record = self._tables.get(table, {}).get(record_id)
+        return dict(record) if record is not None else None
+
+    def update(self, table: str, record_id: str, **fields: Any) -> Generator:
+        """Merge ``fields`` into an existing record; returns it or ``None``."""
+        yield Timeout(self.QUERY_LATENCY)
+        self._check()
+        self.query_count += 1
+        record = self._tables.get(table, {}).get(record_id)
+        if record is None:
+            return None
+        record.update(fields)
+        return dict(record)
+
+    def delete(self, table: str, record_id: str) -> Generator:
+        """Remove a record; returns True when it existed."""
+        yield Timeout(self.QUERY_LATENCY)
+        self._check()
+        self.query_count += 1
+        return self._tables.get(table, {}).pop(record_id, None) is not None
+
+    def select(self, table: str,
+               where: Optional[Callable[[Dict[str, Any]], bool]] = None) -> Generator:
+        """All records of ``table`` matching the optional predicate."""
+        yield Timeout(self.QUERY_LATENCY)
+        self._check()
+        self.query_count += 1
+        rows = list(self._tables.get(table, {}).values())
+        if where is not None:
+            rows = [row for row in rows if where(row)]
+        return [dict(row) for row in rows]
+
+    # -- synchronous inspection (testing / evaluation only) --------------------
+
+    def peek(self, table: str, record_id: str) -> Optional[Dict[str, Any]]:
+        """Zero-latency read used by tests and evaluation harnesses."""
+        record = self._tables.get(table, {}).get(record_id)
+        return dict(record) if record is not None else None
+
+    def count(self, table: str) -> int:
+        """Number of records in ``table``."""
+        return len(self._tables.get(table, {}))

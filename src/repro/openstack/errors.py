@@ -1,0 +1,46 @@
+"""Error types raised inside the simulated OpenStack deployment."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ApiError(Exception):
+    """A failed API invocation, carrying the HTTP-style status code.
+
+    Handlers raise :class:`ApiError`; the messaging layer converts it
+    into an error response on the wire (what GRETEL's operational fault
+    detector sees), and callers may translate it into their own
+    upstream error.
+    """
+
+    def __init__(self, status: int, message: str, *, detail: Optional[str] = None):
+        super().__init__(f"{status}: {message}")
+        self.status = int(status)
+        self.message = message
+        self.detail = detail or message
+
+    def body(self) -> str:
+        """The response body fragment carried on the wire."""
+        return f'{{"code": {self.status}, "message": "{self.message}"}}'
+
+
+class RpcError(Exception):
+    """A failed RPC invocation (timeout, missing consumer, remote fault)."""
+
+    def __init__(self, message: str, *, kind: str = "RemoteError"):
+        super().__init__(message)
+        self.message = message
+        self.kind = kind
+
+    def body(self) -> str:
+        """The oslo.messaging-style error fragment carried on the wire."""
+        return f'{{"oslo.message": {{"failure": "{self.kind}", "message": "{self.message}"}}}}'
+
+
+class DependencyUnavailable(ApiError):
+    """A hard dependency (MySQL, RabbitMQ, NTP, ...) is unreachable."""
+
+    def __init__(self, dependency: str, message: str):
+        super().__init__(503, message)
+        self.dependency = dependency

@@ -1,0 +1,26 @@
+"""Simulated OpenStack component services.
+
+Each service implements handlers for its APIs.  Handlers are
+generators driven by the transport (:mod:`repro.openstack.messaging`);
+they read/write the shared MySQL model, issue nested REST/RPC calls
+(producing the cross-component cascades of §2.1) and raise
+:class:`repro.openstack.errors.ApiError` on failure.
+"""
+
+from repro.openstack.services.base import Service
+from repro.openstack.services.keystone import KeystoneService
+from repro.openstack.services.nova import NovaService
+from repro.openstack.services.neutron import NeutronService
+from repro.openstack.services.glance import GlanceService
+from repro.openstack.services.cinder import CinderService
+from repro.openstack.services.swift import SwiftService
+
+__all__ = [
+    "CinderService",
+    "GlanceService",
+    "KeystoneService",
+    "NeutronService",
+    "NovaService",
+    "Service",
+    "SwiftService",
+]

@@ -1,0 +1,127 @@
+"""Glance: the image service.
+
+Implements the §7.2.1 failure mode: ``PUT /v2/images/{id}/file``
+(image data upload) answers **413 Request Entity Too Large** when free
+disk on the Glance node cannot hold the payload — and actually
+consumes disk on success, so repeated uploads organically fill the
+node the way the paper's scenario was produced.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim import Timeout
+from repro.openstack.errors import ApiError
+from repro.openstack.messaging import CallContext, Request
+from repro.openstack.services.base import Service
+
+IMAGES = "glance:images"
+
+#: Minimum free space kept in reserve; uploads may not dip below it.
+DISK_HEADROOM_GB = 5.0
+
+
+class GlanceService(Service):
+    """Image service handlers."""
+
+    name = "glance"
+
+    def _register(self) -> None:
+        self.on_rest("POST", "/v2/images", self.create_image)
+        self.on_rest("GET", "/v2/images", self.list_images)
+        self.on_rest("GET", "/v2/images/{id}", self.show_image)
+        self.on_rest("PATCH", "/v2/images/{id}", self.update_image)
+        self.on_rest("DELETE", "/v2/images/{id}", self.delete_image)
+        self.on_rest("PUT", "/v2/images/{id}/file", self.upload_file)
+        self.on_rest("GET", "/v2/images/{id}/file", self.download_file)
+        self.on_rest("POST", "/v2/images/{id}/actions/deactivate", self.deactivate)
+        self.on_rest("POST", "/v2/images/{id}/actions/reactivate", self.reactivate)
+        self.on_rest("POST", "/v2/images/{id}/members", self.add_member)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _node_resources(self, ctx: CallContext):
+        return self.cloud.resources[ctx.node]
+
+    # -- handlers -------------------------------------------------------------
+
+    def create_image(self, ctx: CallContext, request: Request) -> Generator:
+        """POST /v2/images — register image metadata (status: queued)."""
+        image_id = self.db.new_id("img")
+        yield from self.db.insert(
+            IMAGES,
+            {"id": image_id, "name": request.param("name", image_id),
+             "status": "queued", "size_gb": 0.0, "visibility": "private"},
+        )
+        return {"id": image_id, "image": {"id": image_id, "status": "queued"}}
+
+    def list_images(self, ctx: CallContext, request: Request) -> Generator:
+        """GET /v2/images."""
+        rows = yield from self.db.select(IMAGES)
+        return {"images": rows}
+
+    def show_image(self, ctx: CallContext, request: Request) -> Generator:
+        """GET /v2/images/{id}."""
+        record = yield from self.fetch_or_404(IMAGES, request.param("id", ""), "Image")
+        return {"image": record}
+
+    def update_image(self, ctx: CallContext, request: Request) -> Generator:
+        """PATCH /v2/images/{id}."""
+        record = yield from self.db.update(
+            IMAGES, request.param("id", ""), name=request.param("name", "updated")
+        )
+        self.require(record is not None, 404, "Image could not be found")
+        return {"image": record}
+
+    def delete_image(self, ctx: CallContext, request: Request) -> Generator:
+        """DELETE /v2/images/{id} — releases its disk footprint."""
+        image_id = request.param("id", "")
+        record = yield from self.fetch_or_404(IMAGES, image_id, "Image")
+        self._node_resources(ctx).release_disk(record.get("size_gb", 0.0))
+        yield from self.db.delete(IMAGES, image_id)
+        return {}
+
+    def upload_file(self, ctx: CallContext, request: Request) -> Generator:
+        """PUT /v2/images/{id}/file — the §7.2.1 disk-pressure path."""
+        image_id = request.param("id", "")
+        yield from self.fetch_or_404(IMAGES, image_id, "Image")
+        size_gb = float(request.param("size_gb", self.cloud.config.image_size_gb))
+        resources = self._node_resources(ctx)
+        free = resources.disk_free_gb(ctx.sim.now)
+        if free - size_gb < DISK_HEADROOM_GB:
+            raise ApiError(413, "Request Entity Too Large")
+        # Transfer time proportional to payload size.
+        yield Timeout(0.004 * size_gb)
+        resources.consume_disk(size_gb)
+        yield from self.db.update(IMAGES, image_id, status="active", size_gb=size_gb)
+        return {}
+
+    def download_file(self, ctx: CallContext, request: Request) -> Generator:
+        """GET /v2/images/{id}/file."""
+        record = yield from self.fetch_or_404(IMAGES, request.param("id", ""), "Image")
+        self.require(record["status"] == "active", 409, "Image has no data")
+        yield Timeout(0.002 * max(0.5, record.get("size_gb", 1.0)))
+        return {"size_gb": record.get("size_gb", 0.0)}
+
+    def deactivate(self, ctx: CallContext, request: Request) -> Generator:
+        """POST /v2/images/{id}/actions/deactivate."""
+        record = yield from self.db.update(
+            IMAGES, request.param("id", ""), status="deactivated"
+        )
+        self.require(record is not None, 404, "Image could not be found")
+        return {}
+
+    def reactivate(self, ctx: CallContext, request: Request) -> Generator:
+        """POST /v2/images/{id}/actions/reactivate."""
+        record = yield from self.db.update(IMAGES, request.param("id", ""), status="active")
+        self.require(record is not None, 404, "Image could not be found")
+        return {}
+
+    def add_member(self, ctx: CallContext, request: Request) -> Generator:
+        """POST /v2/images/{id}/members — share with another tenant."""
+        image_id = request.param("id", "")
+        record = yield from self.fetch_or_404(IMAGES, image_id, "Image")
+        members = list(record.get("members") or []) + [request.param("member", "other")]
+        yield from self.db.update(IMAGES, image_id, members=members)
+        return {"member": members[-1]}

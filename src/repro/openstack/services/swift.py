@@ -1,0 +1,121 @@
+"""Swift: object storage (accounts, containers, objects).
+
+Backs Cinder backups and stand-alone object workloads.  Object PUTs
+consume disk on the Swift proxy's node, so storage pressure manifests
+the same way as on Glance (507 Insufficient Storage here, matching
+Swift's real behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim import Timeout
+from repro.openstack.errors import ApiError
+from repro.openstack.messaging import CallContext, Request
+from repro.openstack.services.base import Service
+
+CONTAINERS = "swift:containers"
+OBJECTS = "swift:objects"
+
+
+class SwiftService(Service):
+    """Object-store handlers."""
+
+    name = "swift"
+
+    def _register(self) -> None:
+        base = "/v1/{account}"
+        self.on_rest("GET", base, self.list_containers)
+        self.on_rest("PUT", f"{base}/{{container}}", self.create_container)
+        self.on_rest("GET", f"{base}/{{container}}", self.list_objects)
+        self.on_rest("DELETE", f"{base}/{{container}}", self.delete_container)
+        self.on_rest("HEAD", f"{base}/{{container}}", self.head_container)
+        self.on_rest("PUT", f"{base}/{{container}}/{{object}}", self.put_object)
+        self.on_rest("GET", f"{base}/{{container}}/{{object}}", self.get_object)
+        self.on_rest("DELETE", f"{base}/{{container}}/{{object}}", self.delete_object)
+        self.on_rest("HEAD", f"{base}/{{container}}/{{object}}", self.head_object)
+
+    def _container_key(self, request: Request) -> str:
+        return f"{request.tenant}/{request.param('container', 'default')}"
+
+    def _object_key(self, request: Request) -> str:
+        return f"{self._container_key(request)}/{request.param('object', '')}"
+
+    def list_containers(self, ctx: CallContext, request: Request) -> Generator:
+        """GET /v1/{account}."""
+        rows = yield from self.db.select(
+            CONTAINERS, lambda r: r["id"].startswith(request.tenant + "/")
+        )
+        return {"containers": rows}
+
+    def create_container(self, ctx: CallContext, request: Request) -> Generator:
+        """PUT /v1/{account}/{container}."""
+        key = self._container_key(request)
+        existing = yield from self.db.get(CONTAINERS, key)
+        if existing is None:
+            yield from self.db.insert(CONTAINERS, {"id": key, "objects": 0})
+        return {"container": key}
+
+    def list_objects(self, ctx: CallContext, request: Request) -> Generator:
+        """GET /v1/{account}/{container}."""
+        prefix = self._container_key(request) + "/"
+        rows = yield from self.db.select(OBJECTS, lambda r: r["id"].startswith(prefix))
+        return {"objects": rows}
+
+    def head_container(self, ctx: CallContext, request: Request) -> Generator:
+        """HEAD /v1/{account}/{container}."""
+        record = yield from self.fetch_or_404(
+            CONTAINERS, self._container_key(request), "Container"
+        )
+        return {"objects": record.get("objects", 0)}
+
+    def delete_container(self, ctx: CallContext, request: Request) -> Generator:
+        """DELETE /v1/{account}/{container} — 409 when not empty."""
+        key = self._container_key(request)
+        prefix = key + "/"
+        rows = yield from self.db.select(OBJECTS, lambda r: r["id"].startswith(prefix))
+        self.require(not rows, 409, "Container not empty")
+        yield from self.db.delete(CONTAINERS, key)
+        return {}
+
+    def put_object(self, ctx: CallContext, request: Request) -> Generator:
+        """PUT object — consumes proxy-node disk; 507 when full."""
+        container_key = self._container_key(request)
+        container = yield from self.db.get(CONTAINERS, container_key)
+        if container is None:
+            yield from self.db.insert(CONTAINERS, {"id": container_key, "objects": 0})
+            container = {"objects": 0}
+        size_gb = float(request.param("size_gb", 0.1))
+        resources = self.cloud.resources[ctx.node]
+        if resources.disk_free_gb(ctx.sim.now) < size_gb + 2.0:
+            raise ApiError(507, "Insufficient Storage")
+        yield Timeout(0.003 * max(0.1, size_gb))
+        resources.consume_disk(size_gb)
+        yield from self.db.insert(
+            OBJECTS, {"id": self._object_key(request), "size_gb": size_gb}
+        )
+        yield from self.db.update(
+            CONTAINERS, container_key, objects=container.get("objects", 0) + 1
+        )
+        return {}
+
+    def get_object(self, ctx: CallContext, request: Request) -> Generator:
+        """GET object."""
+        record = yield from self.fetch_or_404(OBJECTS, self._object_key(request), "Object")
+        yield Timeout(0.002 * max(0.1, record.get("size_gb", 0.1)))
+        return {"size_gb": record.get("size_gb", 0.0)}
+
+    def delete_object(self, ctx: CallContext, request: Request) -> Generator:
+        """DELETE object — frees its disk footprint."""
+        key = self._object_key(request)
+        record = yield from self.db.get(OBJECTS, key)
+        if record is not None:
+            self.cloud.resources[ctx.node].release_disk(record.get("size_gb", 0.0))
+            yield from self.db.delete(OBJECTS, key)
+        return {}
+
+    def head_object(self, ctx: CallContext, request: Request) -> Generator:
+        """HEAD object."""
+        record = yield from self.fetch_or_404(OBJECTS, self._object_key(request), "Object")
+        return {"size_gb": record.get("size_gb", 0.0)}

@@ -1,0 +1,90 @@
+"""Software-dependency processes and their health.
+
+OpenStack's correctness depends on a constellation of long-running
+processes per node: NTP, MySQL, RabbitMQ, libvirt, the per-compute-node
+``nova-compute`` and ``neutron-plugin-linuxbridge-agent`` services, and
+so on.  GRETEL's watchers poll exactly this state (§5.1, §6), and the
+paper's case studies (§7.2.3 Linux bridge agent crash, §7.2.4 NTP
+failure) manifest as one of these processes dying.
+
+:class:`ProcessTable` is the ground truth the watchers observe; the
+fault injector flips process state here and the simulated services
+consult it before acting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class SoftwareProcess:
+    """One long-running dependency process on one node."""
+
+    name: str
+    node: str
+    alive: bool = True
+    since: float = 0.0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """(node, process-name) identity."""
+        return (self.node, self.name)
+
+
+class ProcessTable:
+    """All dependency processes in the deployment, indexed by node."""
+
+    def __init__(self):
+        self._processes: Dict[Tuple[str, str], SoftwareProcess] = {}
+
+    def install(self, node: str, name: str) -> SoftwareProcess:
+        """Register a process as installed (and running) on a node."""
+        key = (node, name)
+        if key in self._processes:
+            raise ValueError(f"process {name!r} already installed on {node!r}")
+        process = SoftwareProcess(name=name, node=node)
+        self._processes[key] = process
+        return process
+
+    def get(self, node: str, name: str) -> SoftwareProcess:
+        """Process by (node, name); raises ``KeyError`` when absent."""
+        return self._processes[(node, name)]
+
+    def has(self, node: str, name: str) -> bool:
+        """Whether the process is installed on the node."""
+        return (node, name) in self._processes
+
+    def is_alive(self, node: str, name: str) -> bool:
+        """True if the process is installed and currently running."""
+        process = self._processes.get((node, name))
+        return process is not None and process.alive
+
+    def kill(self, node: str, name: str, now: float) -> None:
+        """Crash a process (records the transition time)."""
+        process = self.get(node, name)
+        if process.alive:
+            process.alive = False
+            process.since = now
+
+    def restart(self, node: str, name: str, now: float) -> None:
+        """Bring a crashed process back."""
+        process = self.get(node, name)
+        if not process.alive:
+            process.alive = True
+            process.since = now
+
+    def on_node(self, node: str) -> List[SoftwareProcess]:
+        """All processes installed on ``node``."""
+        return [p for (n, _), p in self._processes.items() if n == node]
+
+    def dead(self) -> List[SoftwareProcess]:
+        """All currently-crashed processes."""
+        return [p for p in self._processes.values() if not p.alive]
+
+    def __iter__(self) -> Iterator[SoftwareProcess]:
+        return iter(self._processes.values())
+
+    def __len__(self) -> int:
+        return len(self._processes)

@@ -1,0 +1,137 @@
+"""Deployment topology: nodes, service placement and link latencies.
+
+The paper's testbed placed "each component on a different server"
+across seven IBM x3650 machines (three of them compute nodes) behind a
+three-tier switch fabric.  We model the same shape: one node per
+component service, three compute nodes, and a flat latency matrix
+(the switch fabric only matters to GRETEL through the latencies it
+produces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class NodeSpec:
+    """Static description of one physical node."""
+
+    name: str
+    ip: str
+    services: List[str] = field(default_factory=list)
+    #: Software dependency processes installed on the node (beyond the
+    #: OpenStack services themselves), e.g. ntp / mysql / rabbitmq /
+    #: libvirt / neutron agents.
+    processes: List[str] = field(default_factory=list)
+    is_compute: bool = False
+    cpu_cores: int = 12
+    mem_total_mb: int = 131072
+    disk_total_gb: int = 900
+
+
+@dataclass
+class Topology:
+    """The full deployment layout."""
+
+    nodes: List[NodeSpec]
+    #: One-way network latency between distinct nodes, seconds.
+    link_latency: float = 0.0004
+    #: Loopback latency for co-located services, seconds.
+    local_latency: float = 0.00005
+
+    def __post_init__(self) -> None:
+        self._by_name: Dict[str, NodeSpec] = {}
+        self._service_home: Dict[str, str] = {}
+        for node in self.nodes:
+            if node.name in self._by_name:
+                raise ValueError(f"duplicate node name {node.name!r}")
+            self._by_name[node.name] = node
+            for service in node.services:
+                # Controller-side home of each service; compute-side
+                # agents are reached through RPC fanout instead.
+                self._service_home.setdefault(service, node.name)
+
+    def node(self, name: str) -> NodeSpec:
+        """Node spec by name."""
+        return self._by_name[name]
+
+    def node_names(self) -> List[str]:
+        """All node names in declaration order."""
+        return [node.name for node in self.nodes]
+
+    def home_of(self, service: str) -> str:
+        """The node hosting the controller side of ``service``."""
+        try:
+            return self._service_home[service]
+        except KeyError:
+            raise KeyError(f"no node hosts service {service!r}") from None
+
+    def compute_nodes(self) -> List[NodeSpec]:
+        """The hypervisor nodes, in declaration order."""
+        return [node for node in self.nodes if node.is_compute]
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency between two nodes (loopback if identical)."""
+        return self.local_latency if src == dst else self.link_latency
+
+
+def default_topology(compute_nodes: int = 3) -> Topology:
+    """The reproduction's default 5 + N node deployment.
+
+    Mirrors the paper's testbed: separate nodes for the control plane
+    (Horizon/Keystone plus MySQL, RabbitMQ), Nova control, Neutron,
+    Glance (+Swift proxy) and Cinder, plus ``compute_nodes`` hypervisors
+    running nova-compute, the neutron Linux bridge agent and libvirt.
+    """
+    if compute_nodes < 1:
+        raise ValueError("need at least one compute node")
+    nodes = [
+        NodeSpec(
+            name="ctrl",
+            ip="10.0.0.10",
+            services=["horizon", "keystone"],
+            processes=["ntp", "mysql", "rabbitmq", "keystone-all", "apache2"],
+        ),
+        NodeSpec(
+            name="nova-ctl",
+            ip="10.0.0.11",
+            services=["nova"],
+            processes=["ntp", "nova-api", "nova-scheduler", "nova-conductor"],
+        ),
+        NodeSpec(
+            name="neutron-ctl",
+            ip="10.0.0.12",
+            services=["neutron"],
+            processes=["ntp", "neutron-server", "neutron-dhcp-agent", "neutron-l3-agent"],
+        ),
+        NodeSpec(
+            name="glance-node",
+            ip="10.0.0.13",
+            services=["glance", "swift"],
+            processes=["ntp", "glance-api", "glance-registry", "swift-proxy"],
+        ),
+        NodeSpec(
+            name="cinder-node",
+            ip="10.0.0.14",
+            services=["cinder"],
+            processes=["ntp", "cinder-api", "cinder-scheduler", "cinder-volume"],
+        ),
+    ]
+    for index in range(compute_nodes):
+        nodes.append(
+            NodeSpec(
+                name=f"compute-{index + 1}",
+                ip=f"10.0.1.{10 + index}",
+                services=[],
+                processes=[
+                    "ntp",
+                    "nova-compute",
+                    "neutron-plugin-linuxbridge-agent",
+                    "libvirtd",
+                ],
+                is_compute=True,
+            )
+        )
+    return Topology(nodes=nodes)

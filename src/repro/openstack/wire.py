@@ -1,0 +1,118 @@
+"""Wire events: the network observables GRETEL's agents capture.
+
+Every completed REST request/response pair and every RPC exchange in
+the simulated deployment produces one :class:`WireEvent`.  The fields
+mirror what the paper's Bro taps could extract without parsing JSON
+payloads:
+
+* transport metadata (connection 4-tuple for REST, message id for RPC)
+  used to pair requests with responses and compute latency,
+* request/response headers (method, path, status code),
+* a short body fragment, which is what GRETEL's lightweight regular
+  expression error scan runs over.
+
+Two extra field groups exist for *other* consumers, and GRETEL's code
+never reads them:
+
+* ``request_id`` / ``tenant`` / ``resource_ids`` — payload identifiers
+  the HANSEL baseline stitches on,
+* ``op_id`` / ``test_id`` — ground-truth labels used only by the
+  evaluation harness to score precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.openstack.apis import ApiKind
+
+
+@dataclass(frozen=True)
+class WireEvent:
+    """One observed request/response exchange."""
+
+    seq: int
+    api_key: str
+    kind: ApiKind
+    method: str
+    name: str
+    src_service: str
+    src_node: str
+    src_ip: str
+    dst_service: str
+    dst_node: str
+    dst_ip: str
+    ts_request: float
+    ts_response: float
+    status: int
+    body: str = ""
+    conn: Tuple[str, int, str, int] = ("", 0, "", 0)
+    msg_id: str = ""
+    size_bytes: int = 192
+    noise: bool = False
+    # --- payload identifiers (HANSEL baseline only; GRETEL never reads) ---
+    request_id: str = ""
+    tenant: str = ""
+    resource_ids: Tuple[str, ...] = ()
+    # --- ground truth (evaluation harness only) ---
+    op_id: str = ""
+    test_id: str = ""
+
+    @property
+    def latency(self) -> float:
+        """Observed request→response latency in seconds."""
+        return self.ts_response - self.ts_request
+
+    @property
+    def error(self) -> bool:
+        """Whether the exchange carried an error status."""
+        return self.status >= 400
+
+    @property
+    def is_rest(self) -> bool:
+        """True for REST exchanges."""
+        return self.kind is ApiKind.REST
+
+    def __str__(self) -> str:
+        tag = "REST" if self.is_rest else "RPC "
+        return (
+            f"[{self.ts_response:10.4f}] {tag} {self.method:6s} "
+            f"{self.src_service}->{self.dst_service} {self.name} = {self.status}"
+        )
+
+
+class TapBus:
+    """Delivery of wire events to per-node monitoring taps.
+
+    The paper deploys a Bro agent per node; each event is captured by
+    the agent on its *source* node (egress capture), which both avoids
+    duplicate delivery and preserves per-TCP-stream ordering, matching
+    §5.2's ordering guarantee.
+    """
+
+    def __init__(self):
+        self._node_taps: Dict[str, List[Callable[[WireEvent], None]]] = {}
+        self._global_taps: List[Callable[[WireEvent], None]] = []
+        self.emitted = 0
+
+    def attach(self, node: str, callback: Callable[[WireEvent], None]) -> None:
+        """Attach a tap capturing traffic originating at ``node``."""
+        self._node_taps.setdefault(node, []).append(callback)
+
+    def attach_global(self, callback: Callable[[WireEvent], None]) -> None:
+        """Attach a tap that sees every event (testing / evaluation)."""
+        self._global_taps.append(callback)
+
+    def emit(self, event: WireEvent) -> None:
+        """Deliver an event to its source-node tap and all global taps."""
+        self.emitted += 1
+        for callback in self._node_taps.get(event.src_node, ()):  # noqa: B020
+            callback(event)
+        for callback in self._global_taps:
+            callback(event)
+
+    def detach_all(self) -> None:
+        """Remove every tap (used between characterization runs)."""
+        self._node_taps.clear()
+        self._global_taps.clear()

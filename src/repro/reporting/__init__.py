@@ -1,0 +1,10 @@
+"""Plain-text rendering of the evaluation figures.
+
+The benchmark harness runs in terminals and CI logs, so every figure
+regenerator renders its series as compact ASCII charts in addition to
+the numeric summaries.
+"""
+
+from repro.reporting.ascii import render_bars, render_cdf, render_series
+
+__all__ = ["render_bars", "render_cdf", "render_series"]

@@ -1,0 +1,115 @@
+"""Compact ASCII charts: time series, CDFs and bar charts.
+
+Pure-stdlib, deterministic, and sized for terminal/CI output.  These
+back the figure regenerators in :mod:`repro.evaluation` so the
+benchmark logs contain an actual *picture* of each reproduced figure,
+not just summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Vertical resolution glyphs, low to high.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return max(0, min(steps - 1, int(position * (steps - 1) + 0.5)))
+
+
+def _bucket_means(points: Sequence[Tuple[float, float]],
+                  width: int) -> List[Optional[float]]:
+    xs = [x for x, _ in points]
+    lo, hi = min(xs), max(xs)
+    span = (hi - lo) or 1.0
+    buckets: List[List[float]] = [[] for _ in range(width)]
+    for x, y in points:
+        index = min(width - 1, int((x - lo) / span * width))
+        buckets[index].append(y)
+    return [sum(b) / len(b) if b else None for b in buckets]
+
+
+def render_series(
+    points: Sequence[Tuple[float, float]],
+    *,
+    width: int = 72,
+    label: str = "",
+    markers: Sequence[float] = (),
+    unit: str = "",
+) -> str:
+    """One-line sparkline of an (x, y) series with min/max annotations.
+
+    ``markers`` are x positions rendered on a second line (e.g. the
+    injection window of Fig. 8b or alarm times of Fig. 6).
+    """
+    if not points:
+        return f"{label}: (no data)"
+    means = _bucket_means(points, width)
+    values = [m for m in means if m is not None]
+    lo, hi = min(values), max(values)
+    line = "".join(
+        _BLOCKS[_scale(m, lo, hi, len(_BLOCKS))] if m is not None else " "
+        for m in means
+    )
+    xs = [x for x, _ in points]
+    x_lo, x_hi = min(xs), max(xs)
+    out = [f"{label} [{lo:g}{unit} .. {hi:g}{unit}]", f"|{line}|"]
+    if markers:
+        span = (x_hi - x_lo) or 1.0
+        marker_line = [" "] * width
+        for marker in markers:
+            index = min(width - 1, int((marker - x_lo) / span * width))
+            if 0 <= index:
+                marker_line[index] = "^"
+        out.append(f"|{''.join(marker_line)}|")
+    out.append(f" x: {x_lo:g} .. {x_hi:g}")
+    return "\n".join(out)
+
+
+def render_cdf(
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 50,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+) -> str:
+    """Horizontal CDF rendering: one row per named series.
+
+    Each row shows the fraction of values below evenly spaced
+    thresholds across ``value_range``.
+    """
+    lo, hi = value_range
+    lines = []
+    for name in sorted(series):
+        values = sorted(series[name])
+        if not values:
+            continue
+        row = []
+        for step in range(width):
+            threshold = lo + (hi - lo) * (step + 1) / width
+            fraction = sum(1 for v in values if v <= threshold) / len(values)
+            row.append(_BLOCKS[_scale(fraction, 0.0, 1.0, len(_BLOCKS))])
+        lines.append(f"{name:>10s} |{''.join(row)}|")
+    lines.append(f"{'':>10s}  {lo:<g}{'':^{max(0, width - 12)}}{hi:>g}")
+    return "\n".join(lines)
+
+
+def render_bars(
+    rows: Sequence[Tuple[str, float]],
+    *,
+    width: int = 46,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with value labels."""
+    if not rows:
+        return "(no data)"
+    peak = max(value for _, value in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = "█" * max(1 if value > 0 else 0, int(value / peak * width))
+        lines.append(f"{label:>{label_width}s} | {bar} {value:g}{unit}")
+    return "\n".join(lines)

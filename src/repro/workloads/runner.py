@@ -1,0 +1,155 @@
+"""Workload execution: isolated characterization runs and concurrent mixes.
+
+Two modes mirror the paper's methodology:
+
+* **isolated** (§7.1) — run one test at a time in a controlled setting,
+  capturing its wire trace for fingerprint generation;
+* **concurrent** (§7.3) — launch many tests with staggered starts to
+  create the interleaved message streams GRETEL must disentangle.
+
+Operation failures (:class:`~repro.workloads.toolkit.OperationFailed`)
+are recorded as outcomes, not raised: in fault-injection experiments,
+failing operations are the point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+from repro.openstack.cloud import Cloud
+from repro.workloads.tempest import TempestTest
+from repro.workloads.toolkit import OpenStackClient, OperationFailed
+
+
+@dataclass
+class OperationOutcome:
+    """Result of one executed test."""
+
+    test_id: str
+    name: str
+    category: str
+    ok: bool
+    error: Optional[str]
+    started: float
+    finished: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock (simulated) duration of the test."""
+        return self.finished - self.started
+
+
+class WorkloadRunner:
+    """Executes Tempest-like tests against one simulated cloud."""
+
+    def __init__(self, cloud: Cloud):
+        self.cloud = cloud
+        self._tenant_ids = itertools.count(1)
+
+    # -- building blocks -----------------------------------------------------
+
+    def _execute(self, test: TempestTest, sink: List[OperationOutcome],
+                 tenant: Optional[str] = None) -> Generator:
+        cloud = self.cloud
+        ctx = cloud.client_context(
+            caller="tempest",
+            tenant=tenant or f"tenant-{next(self._tenant_ids):04d}",
+            op_id=test.test_id,
+            test_id=test.test_id,
+        )
+        client = OpenStackClient(cloud, ctx)
+        started = cloud.sim.now
+        ok, error = True, None
+        try:
+            yield from test.script(client)
+        except OperationFailed as exc:
+            ok, error = False, str(exc)
+        sink.append(
+            OperationOutcome(
+                test_id=test.test_id, name=test.name, category=test.category,
+                ok=ok, error=error, started=started, finished=cloud.sim.now,
+            )
+        )
+
+    # -- modes -----------------------------------------------------------------
+
+    def run_isolated(self, test: TempestTest, settle: float = 0.3,
+                     limit: float = 600.0) -> OperationOutcome:
+        """Run one test alone; settle afterwards so async casts land."""
+        outcomes: List[OperationOutcome] = []
+        process = self.cloud.sim.spawn(
+            self._execute(test, outcomes), name=f"test:{test.test_id}"
+        )
+        self.cloud.run_until([process], limit=limit)
+        self.cloud.settle(settle)
+        return outcomes[0]
+
+    def run_concurrent(
+        self,
+        tests: Sequence[TempestTest],
+        stagger: float = 0.01,
+        settle: float = 0.5,
+        limit: float = 3600.0,
+    ) -> List[OperationOutcome]:
+        """Run ``tests`` concurrently with staggered starts."""
+        outcomes: List[OperationOutcome] = []
+        processes = []
+        for index, test in enumerate(tests):
+            processes.append(
+                self.cloud.sim.spawn(
+                    self._staggered(index * stagger, test, outcomes),
+                    name=f"test:{test.test_id}#{index}",
+                )
+            )
+        self.cloud.run_until(processes, limit=limit)
+        self.cloud.settle(settle)
+        return outcomes
+
+    def _staggered(self, delay: float, test: TempestTest,
+                   sink: List[OperationOutcome]) -> Generator:
+        from repro.sim import Timeout
+
+        if delay > 0:
+            yield Timeout(delay)
+        yield from self._execute(test, sink)
+
+    def run_sustained(
+        self,
+        tests: Sequence[TempestTest],
+        concurrency: int,
+        duration: float,
+        seed: int = 0,
+        settle: float = 1.0,
+    ) -> List[OperationOutcome]:
+        """Keep ``concurrency`` operations in flight for ``duration``
+        simulated seconds, drawing tests at random from ``tests``.
+
+        This is the workload shape of the paper's long-running
+        experiments (Fig. 6, Fig. 8b): a steady level of load rather
+        than one batch that drains.
+        """
+        import random as _random
+
+        outcomes: List[OperationOutcome] = []
+        t_end = self.cloud.sim.now + duration
+        master = _random.Random(seed)
+
+        def slot(slot_rng) -> Generator:
+            from repro.sim import Timeout
+
+            yield Timeout(slot_rng.uniform(0.0, 0.2))
+            while self.cloud.sim.now < t_end:
+                test = slot_rng.choice(tests)
+                yield from self._execute(test, outcomes)
+
+        processes = [
+            self.cloud.sim.spawn(
+                slot(_random.Random(master.getrandbits(48))), name=f"slot-{index}"
+            )
+            for index in range(concurrency)
+        ]
+        self.cloud.run_until(processes, limit=duration * 6 + 120)
+        self.cloud.settle(settle)
+        return outcomes

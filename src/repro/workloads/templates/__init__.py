@@ -1,0 +1,65 @@
+"""Operation templates: parameterized administrative scenarios.
+
+Each :class:`Template` is one family of Tempest-style tests: a script
+(setup → exercise → teardown, like real Tempest scenarios) plus a
+space of *knobs* whose combinations generate distinct test variants.
+Knobs change both read traffic (extra list/detail calls) and the
+state-change API sequence (extra resources, repeated actions), so
+variants produce genuinely different operational fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Sequence
+
+from repro.workloads.toolkit import OpenStackClient
+
+Script = Callable[[OpenStackClient, Dict[str, Any]], Generator]
+
+
+@dataclass(frozen=True, eq=False)
+class Template:
+    """A parameterized operation scenario."""
+
+    name: str
+    category: str
+    script: Script
+    knobs: Dict[str, Sequence[Any]] = field(default_factory=dict)
+
+    @property
+    def variant_count(self) -> int:
+        """Size of the knob product space."""
+        count = 1
+        for values in self.knobs.values():
+            count *= len(values)
+        return count
+
+    def variant(self, index: int) -> Dict[str, Any]:
+        """Mixed-radix decode of ``index`` into a knob assignment."""
+        if index < 0:
+            raise IndexError("variant index must be non-negative")
+        assignment: Dict[str, Any] = {}
+        remaining = index % self.variant_count
+        for knob, values in self.knobs.items():
+            remaining, digit = divmod(remaining, len(values))
+            assignment[knob] = values[digit]
+        return assignment
+
+
+def all_templates() -> List[Template]:
+    """Every template across all five categories, in a stable order."""
+    from repro.workloads.templates import compute, image, network, storage, misc
+
+    templates: List[Template] = []
+    for module in (compute, image, network, storage, misc):
+        templates.extend(module.TEMPLATES)
+    names = [t.name for t in templates]
+    if len(names) != len(set(names)):
+        raise AssertionError("duplicate template names")
+    return templates
+
+
+def by_category(category: str) -> List[Template]:
+    """Templates of one category."""
+    return [t for t in all_templates() if t.category == category]

@@ -1,0 +1,550 @@
+"""Compute-category templates (instance lifecycle scenarios).
+
+These mirror Tempest's ``tempest.api.compute`` and scenario tests: each
+script provisions its own image (and usually a network), exercises one
+instance-lifecycle behaviour, and tears everything down — producing the
+long, composite REST/RPC traces the paper reports for the Compute
+category (Table 1: the largest fingerprints by far).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.workloads.templates import Template
+from repro.workloads.toolkit import OpenStackClient
+
+#: Knobs shared by most compute scenarios: read-traffic shaping plus a
+#: state-changing setup step that differentiates variant fingerprints
+#: even for faults striking during the common boot phase.
+_COMMON = {
+    "pre_list": [0, 1, 2],
+    "list_detail": [False, True],
+    "post_get": [False, True],
+    "setup_extra": ["keypair", "secgroup", "metadata_quota",
+                    "server_group", "volume_type", "address_scope"],
+}
+
+
+def _setup_extra(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """One distinct state-change setup step, selected per variant.
+
+    Every variant carries exactly one of these disjoint markers, which
+    keeps same-family variants distinguishable even when a fault
+    strikes during the (otherwise identical) boot phase.
+    """
+    extra = v.get("setup_extra", "keypair")
+    if extra == "keypair":
+        response = yield from client.rest("nova", "POST", "/v2.1/os-keypairs",
+                                          {"name": "scenario-key"})
+        yield from client.rest("nova", "DELETE", "/v2.1/os-keypairs/{id}",
+                               {"id": response.data.get("id", "scenario-key")})
+    elif extra == "secgroup":
+        response = yield from client.rest("neutron", "POST",
+                                          "/v2.0/security-groups.json", {})
+        yield from client.rest("neutron", "DELETE",
+                               "/v2.0/security-groups.json/{id}",
+                               {"id": response.data.get("id", "")})
+    elif extra == "metadata_quota":
+        yield from client.rest("nova", "PUT", "/v2.1/os-quota-sets/{tenant}", {})
+    elif extra == "server_group":
+        response = yield from client.rest("nova", "POST",
+                                          "/v2.1/os-server-groups", {"name": "aff"})
+        yield from client.rest("nova", "DELETE", "/v2.1/os-server-groups/{id}",
+                               {"id": response.data.get("id", "aff")})
+    elif extra == "volume_type":
+        response = yield from client.rest("cinder", "POST", "/v2/{tenant}/types",
+                                          {"name": "scenario-type"})
+        yield from client.rest("cinder", "DELETE", "/v2/{tenant}/types/{id}",
+                               {"id": response.data.get("id", "scenario-type")})
+    elif extra == "address_scope":
+        response = yield from client.rest("neutron", "POST",
+                                          "/v2.0/address-scopes.json", {})
+        yield from client.rest("neutron", "DELETE",
+                               "/v2.0/address-scopes.json/{id}",
+                               {"id": response.data.get("id", "")})
+
+
+#: Per-template fixture markers: each scenario family performs one
+#: distinct state-changing fixture step during setup, mirroring the
+#: distinct ``setUpClass`` fixtures of real Tempest test classes.
+_FAMILY_MARKERS = {
+    "flavor": ("nova", "POST", "/v2.1/flavors", {"name": "fixture"}),
+    "router": ("neutron", "POST", "/v2.0/routers.json", {"name": "fixture"}),
+    "qos": ("cinder", "POST", "/v2/{tenant}/qos-specs", {"name": "fixture"}),
+    "aggregate": ("nova", "POST", "/v2.1/os-aggregates", {"name": "fixture"}),
+    "subnetpool": ("neutron", "POST", "/v2.0/subnetpools.json", {}),
+    "metadef": ("glance", "POST", "/v2/metadefs/namespaces", {"ns": "fixture"}),
+    "container": ("swift", "PUT", "/v1/{account}/{container}", {"container": "fixture"}),
+    "transfer": ("cinder", "POST", "/v2/{tenant}/os-volume-transfer", {}),
+}
+
+
+def _family_marker(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Run the scenario family's fixture step, if any."""
+    step = _FAMILY_MARKERS.get(v.get("family_marker", ""))
+    if step is None:
+        yield from ()
+        return
+    service, method, name, params = step
+    yield from client.rest(service, method, name, dict(params))
+
+
+def _setup(client: OpenStackClient, v: Dict[str, Any],
+           with_network: bool = True) -> Generator:
+    """Scenario setup: image (+ optional network), with a per-template
+    ``style`` (from the variant) so different scenario families have
+    distinguishable state-change prefixes.
+
+    The discovery reads (flavors, images, availability zones, limits)
+    mirror what the real python-novaclient performs before a boot and
+    give Compute fingerprints their characteristic bulk (Table 1)."""
+    style = v.get("style", "image_first")
+    for _ in range(v.get("pre_list", 0)):
+        yield from client.rest("nova", "GET", "/v2.1/servers")
+    if v.get("list_detail"):
+        yield from client.rest("nova", "GET", "/v2.1/servers/detail")
+    yield from client.rest("nova", "GET", "/v2.1/flavors")
+    yield from client.rest("nova", "GET", "/v2.1/flavors/{id}",
+                           {"id": v.get("flavor", "m1.small")})
+    yield from client.rest("nova", "GET", "/v2.1/images")
+    if v.get("pre_list", 0) > 0:
+        yield from client.rest("nova", "GET", "/v2.1/os-availability-zone")
+        yield from client.rest("nova", "GET", "/v2.1/limits")
+    yield from _family_marker(client, v)
+    yield from _setup_extra(client, v)
+    upload = style != "no_upload"
+    network_id = ""
+    if style == "network_first":
+        if with_network and v.get("new_network", True):
+            network_id = yield from client.create_network()
+        image_id = yield from client.create_image(size_gb=v.get("image_gb", 1.0),
+                                                  upload=upload)
+    else:
+        image_id = yield from client.create_image(size_gb=v.get("image_gb", 1.0),
+                                                  upload=upload)
+        if with_network and style != "default_network" and v.get("new_network", True):
+            network_id = yield from client.create_network()
+    return image_id, network_id
+
+
+def _teardown(client: OpenStackClient, image_id: str, network_id: str,
+              *server_ids: str) -> Generator:
+    """Shared teardown: servers, then network, then image."""
+    for server_id in server_ids:
+        yield from client.delete_server(server_id)
+    if network_id:
+        yield from client.delete_network(network_id)
+    yield from client.delete_image(image_id)
+
+
+def _finish(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    if v.get("post_get"):
+        yield from client.rest("nova", "GET", "/v2.1/servers")
+
+
+def _verify_server(client: OpenStackClient, v: Dict[str, Any],
+                   server_id: str) -> Generator:
+    """Post-boot verification reads, like a real Tempest waiter+assert
+    phase: addresses, security groups, interfaces, metadata, actions.
+
+    Deliberately broad — real Tempest compute tests interrogate the
+    instance through many sub-resources, which is what makes Compute
+    fingerprints so much larger than other categories' (Table 1) and
+    keeps their cross-category overlap low (Fig. 5)."""
+    for method, name in (
+        ("GET", "/v2.1/servers/{id}/ips"),
+        ("GET", "/v2.1/servers/{id}/os-security-groups"),
+        ("GET", "/v2.1/servers/{id}/os-interface"),
+        ("GET", "/v2.1/servers/{id}/metadata"),
+        ("GET", "/v2.1/servers/{id}/os-volume_attachments"),
+        ("GET", "/v2.1/servers/{id}/tags"),
+    ):
+        yield from client.rest("nova", method, name, {"id": server_id})
+    if v.get("list_detail"):
+        yield from client.rest("nova", "GET", "/v2.1/servers/{id}/diagnostics",
+                               {"id": server_id})
+        yield from client.rest("nova", "GET", "/v2.1/servers/{id}/ips/{network}",
+                               {"id": server_id, "network": "private"})
+    if v.get("post_get"):
+        yield from client.rest("nova", "GET",
+                               "/v2.1/servers/{id}/os-instance-actions",
+                               {"id": server_id})
+
+
+def boot_server(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Boot an instance and verify it reaches ACTIVE."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    yield from _verify_server(client, v, server_id)
+    if v.get("check_interfaces"):
+        yield from client.rest("nova", "GET", "/v2.1/servers/{id}/os-interface",
+                               {"id": server_id})
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def _action_cycle(actions):
+    """Script factory: boot, run a list of server actions, tear down."""
+
+    def script(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+        image_id, network_id = yield from _setup(client, v)
+        server_id = yield from client.create_server(image_id, network_id)
+        yield from _verify_server(client, v, server_id)
+        for _ in range(v.get("cycles", 1)):
+            for action, wait_state in actions:
+                yield from client.server_action(server_id, action)
+                if wait_state and v.get("wait_between", True):
+                    yield from client.wait_server(server_id, wait_state)
+        yield from _teardown(client, image_id, network_id, server_id)
+        yield from _finish(client, v)
+
+    return script
+
+
+def resize_server(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Resize an instance and confirm."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    if v.get("list_flavors", False):
+        yield from client.rest("nova", "GET", "/v2.1/flavors")
+    yield from client.server_action(server_id, "resize")
+    yield from client.wait_server(server_id, "VERIFY_RESIZE")
+    yield from client.server_action(server_id, "confirmResize")
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def migrate_server(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Cold- or live-migrate an instance."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    if v["live"]:
+        yield from client.server_action(server_id, "os-migrateLive")
+    else:
+        yield from client.server_action(server_id, "migrate")
+        yield from client.wait_server(server_id, "VERIFY_RESIZE")
+        yield from client.server_action(server_id, "confirmResize")
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def snapshot_server(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Snapshot an instance to a new Glance image (the paper's S1)."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    yield from client.server_action(server_id, "createImage")
+    if v.get("verify_snapshot", True):
+        yield from client.rest("glance", "GET", "/v2/images")
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def attach_volume(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Boot, attach (and optionally detach) volumes."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    volume_ids = []
+    for _ in range(v.get("n_volumes", 1)):
+        volume_id = yield from client.create_volume()
+        yield from client.attach_volume(server_id, volume_id)
+        volume_ids.append(volume_id)
+    if v.get("detach", True):
+        for volume_id in volume_ids:
+            yield from client.detach_volume(server_id, volume_id)
+            yield from client.delete_volume(volume_id)
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def attach_interface(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Hot-plug an extra NIC."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    response = yield from client.rest(
+        "nova", "POST", "/v2.1/servers/{id}/os-interface", {"id": server_id},
+        resource_ids=(server_id,),
+    )
+    port_id = response.data.get("port_id", "")
+    if v.get("detach", True) and port_id:
+        yield from client.rest(
+            "nova", "DELETE", "/v2.1/servers/{id}/os-interface/{port_id}",
+            {"id": server_id, "port_id": port_id},
+            resource_ids=(server_id, port_id),
+        )
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def multi_server(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Boot several instances on a shared network."""
+    image_id, network_id = yield from _setup(client, v)
+    server_ids = []
+    for index in range(v["n_instances"]):
+        server_id = yield from client.create_server(
+            image_id, network_id, name=f"multi-{index}"
+        )
+        server_ids.append(server_id)
+    yield from _teardown(client, image_id, network_id, *server_ids)
+    yield from _finish(client, v)
+
+
+def rename_server(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Rename an instance."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    for index in range(v.get("renames", 1)):
+        yield from client.rest("nova", "PUT", "/v2.1/servers/{id}",
+                               {"id": server_id, "name": f"renamed-{index}"},
+                               resource_ids=(server_id,))
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def server_metadata(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Set/overwrite/delete server metadata keys."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    yield from client.rest("nova", "POST", "/v2.1/servers/{id}/metadata",
+                           {"id": server_id}, resource_ids=(server_id,))
+    if v.get("update_key", True):
+        yield from client.rest("nova", "PUT", "/v2.1/servers/{id}/metadata/{key}",
+                               {"id": server_id, "key": "role"},
+                               resource_ids=(server_id,))
+    yield from client.rest("nova", "GET", "/v2.1/servers/{id}/metadata",
+                           {"id": server_id})
+    if v.get("delete_key", True):
+        yield from client.rest("nova", "DELETE", "/v2.1/servers/{id}/metadata/{key}",
+                               {"id": server_id, "key": "role"},
+                               resource_ids=(server_id,))
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def keypair_lifecycle(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Create/list/delete SSH keypairs."""
+    keypair_ids = []
+    for index in range(v["n_keypairs"]):
+        response = yield from client.rest("nova", "POST", "/v2.1/os-keypairs",
+                                          {"name": f"key-{index}"})
+        keypair_ids.append(response.data.get("id", f"key-{index}"))
+    yield from client.rest("nova", "GET", "/v2.1/os-keypairs")
+    if v.get("show_each", False):
+        for keypair_id in keypair_ids:
+            yield from client.rest("nova", "GET", "/v2.1/os-keypairs/{id}",
+                                   {"id": keypair_id})
+    for keypair_id in keypair_ids:
+        yield from client.rest("nova", "DELETE", "/v2.1/os-keypairs/{id}",
+                               {"id": keypair_id})
+    yield from _finish(client, v)
+
+
+def flavor_lifecycle(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Create a flavor, set extra specs, delete it."""
+    response = yield from client.rest("nova", "POST", "/v2.1/flavors",
+                                      {"name": "custom"})
+    flavor_id = response.data.get("id", "custom")
+    if v.get("extra_specs", True):
+        yield from client.rest("nova", "POST", "/v2.1/flavors/{id}/os-extra_specs",
+                               {"id": flavor_id}, resource_ids=(flavor_id,))
+    yield from client.rest("nova", "GET", "/v2.1/flavors/{id}", {"id": flavor_id})
+    if v.get("check_access", False):
+        yield from client.rest("nova", "GET", "/v2.1/flavors/{id}/os-flavor-access",
+                               {"id": flavor_id})
+    yield from client.rest("nova", "DELETE", "/v2.1/flavors/{id}", {"id": flavor_id})
+    yield from _finish(client, v)
+
+
+def hypervisor_queries(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Admin read sweep over services/hypervisors (compute admin tests)."""
+    yield from client.rest("nova", "GET", "/v2.1/os-services")
+    if v.get("hypervisors", True):
+        yield from client.rest("nova", "GET", "/v2.1/os-hypervisors")
+        if v.get("stats", False):
+            yield from client.rest("nova", "GET", "/v2.1/os-hypervisors/statistics")
+    if v.get("zones", False):
+        yield from client.rest("nova", "GET", "/v2.1/os-availability-zone")
+    if v.get("migrations", False):
+        yield from client.rest("nova", "GET", "/v2.1/os-migrations")
+    yield from _finish(client, v)
+
+
+def boot_many_reads(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Boot then perform an extended read sweep over the instance."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    yield from client.rest("nova", "GET", "/v2.1/servers/{id}/ips", {"id": server_id})
+    if v.get("diagnostics", True):
+        yield from client.rest("nova", "GET", "/v2.1/servers/{id}/diagnostics",
+                               {"id": server_id})
+    if v.get("actions_log", False):
+        yield from client.rest("nova", "GET", "/v2.1/servers/{id}/os-instance-actions",
+                               {"id": server_id})
+    yield from client.rest("nova", "GET", "/v2.1/servers/{id}/os-security-groups",
+                           {"id": server_id})
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def boot_from_volume(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Boot an instance whose root disk is a Cinder volume."""
+    image_id, network_id = yield from _setup(client, v)
+    volume_id = yield from client.create_volume(size_gb=v.get("volume_gb", 4.0))
+    response = yield from client.rest(
+        "nova", "POST", "/v2.1/servers",
+        {"name": "bfv", "image": image_id, "network": network_id or "net-default",
+         "boot_volume": volume_id},
+        resource_ids=(image_id, volume_id),
+    )
+    server_id = response.data["server"]["id"]
+    yield from client.wait_server(server_id, "ACTIVE")
+    yield from _verify_server(client, v, server_id)
+    yield from client.delete_server(server_id)
+    yield from client.delete_volume(volume_id)
+    if network_id:
+        yield from client.delete_network(network_id)
+    yield from client.delete_image(image_id)
+    yield from _finish(client, v)
+
+
+def server_floatingip(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Boot and associate a floating IP with the instance's port."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    interfaces = yield from client.rest(
+        "nova", "GET", "/v2.1/servers/{id}/os-interface", {"id": server_id}
+    )
+    ports = interfaces.data.get("interfaceAttachments") or [""]
+    fip = yield from client.rest("neutron", "POST", "/v2.0/floatingips.json", {})
+    fip_id = fip.data["id"]
+    yield from client.rest("neutron", "PUT", "/v2.0/floatingips.json/{id}",
+                           {"id": fip_id, "port_id": ports[0]},
+                           resource_ids=(fip_id, server_id))
+    if v.get("disassociate", True):
+        yield from client.rest("neutron", "PUT", "/v2.0/floatingips.json/{id}",
+                               {"id": fip_id, "port_id": None},
+                               resource_ids=(fip_id,))
+    yield from client.rest("neutron", "DELETE", "/v2.0/floatingips.json/{id}",
+                           {"id": fip_id}, resource_ids=(fip_id,))
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def server_secgroups(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Boot and cycle a dedicated security group on the instance."""
+    image_id, network_id = yield from _setup(client, v)
+    server_id = yield from client.create_server(image_id, network_id)
+    sg = yield from client.rest("neutron", "POST",
+                                "/v2.0/security-groups.json", {})
+    sg_id = sg.data["id"]
+    for _ in range(v.get("n_rules", 1)):
+        yield from client.rest("neutron", "POST",
+                               "/v2.0/security-group-rules.json",
+                               {"security_group_id": sg_id},
+                               resource_ids=(sg_id,))
+    yield from client.server_action(server_id, "addSecurityGroup",
+                                    {"security_group": sg_id})
+    yield from client.rest("nova", "GET", "/v2.1/servers/{id}/os-security-groups",
+                           {"id": server_id})
+    yield from client.server_action(server_id, "removeSecurityGroup",
+                                    {"security_group": sg_id})
+    yield from client.rest("neutron", "DELETE", "/v2.0/security-groups.json/{id}",
+                           {"id": sg_id}, resource_ids=(sg_id,))
+    yield from _teardown(client, image_id, network_id, server_id)
+    yield from _finish(client, v)
+
+
+def server_group_ops(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Server-group CRUD."""
+    response = yield from client.rest("nova", "POST", "/v2.1/os-server-groups",
+                                      {"name": "grp"})
+    group_id = response.data.get("id", "grp")
+    yield from client.rest("nova", "GET", "/v2.1/os-server-groups")
+    if v.get("show", True):
+        yield from client.rest("nova", "GET", "/v2.1/os-server-groups/{id}",
+                               {"id": group_id})
+    yield from client.rest("nova", "DELETE", "/v2.1/os-server-groups/{id}",
+                           {"id": group_id})
+    yield from _finish(client, v)
+
+
+_MARKER_CYCLE = list(_FAMILY_MARKERS)
+_marker_cursor = [0]
+
+
+def _t(name: str, script, extra_knobs: Dict[str, Any] = None,
+       style: str = "image_first") -> Template:
+    knobs: Dict[str, Any] = dict(_COMMON)
+    knobs["style"] = [style]
+    # Assign each scenario family a fixed fixture marker, cycling the
+    # marker pool in declaration order (deterministic).
+    marker = _MARKER_CYCLE[_marker_cursor[0] % len(_MARKER_CYCLE)]
+    _marker_cursor[0] += 1
+    knobs["family_marker"] = [marker]
+    knobs.update(extra_knobs or {})
+    return Template(name=name, category="compute", script=script, knobs=knobs)
+
+
+# Styles spread scenario families across distinguishable setup
+# prefixes, like the heterogeneous fixtures of the real Tempest suite.
+TEMPLATES = [
+    _t("compute.boot_server", boot_server,
+       {"check_interfaces": [False, True], "new_network": [True, False]},
+       style="image_first"),
+    _t("compute.reboot_server", _action_cycle([("reboot", "ACTIVE")]),
+       {"cycles": [1, 2]}, style="default_network"),
+    _t("compute.stop_start_server",
+       _action_cycle([("os-stop", "SHUTOFF"), ("os-start", "ACTIVE")]),
+       {"cycles": [1, 2]}, style="network_first"),
+    _t("compute.pause_unpause_server",
+       _action_cycle([("pause", "PAUSED"), ("unpause", "ACTIVE")]),
+       {"cycles": [1, 2]}, style="no_upload"),
+    _t("compute.suspend_resume_server",
+       _action_cycle([("suspend", "SUSPENDED"), ("resume", "ACTIVE")]),
+       {"cycles": [1, 2]}, style="image_first"),
+    _t("compute.shelve_unshelve_server",
+       _action_cycle([("shelve", "SHELVED_OFFLOADED"), ("unshelve", "ACTIVE")]),
+       {"cycles": [1]}, style="network_first"),
+    _t("compute.rescue_unrescue_server",
+       _action_cycle([("rescue", "RESCUE"), ("unrescue", "ACTIVE")]),
+       {"cycles": [1]}, style="default_network"),
+    _t("compute.lock_unlock_server",
+       _action_cycle([("lock", None), ("unlock", None)]),
+       {"cycles": [1, 2], "wait_between": [False]}, style="no_upload"),
+    _t("compute.resize_server", resize_server,
+       {"list_flavors": [False, True]}, style="network_first"),
+    _t("compute.migrate_server", migrate_server,
+       {"live": [False]}, style="default_network"),
+    _t("compute.live_migrate_server", migrate_server,
+       {"live": [True]}, style="no_upload"),
+    _t("compute.snapshot_server", snapshot_server,
+       {"verify_snapshot": [True, False]}, style="image_first"),
+    _t("compute.attach_volume", attach_volume,
+       {"n_volumes": [1, 2], "detach": [True, False]}, style="default_network"),
+    _t("compute.attach_interface", attach_interface,
+       {"detach": [True, False]}, style="network_first"),
+    _t("compute.multi_server", multi_server,
+       {"n_instances": [2, 3]}, style="image_first"),
+    _t("compute.rename_server", rename_server,
+       {"renames": [1, 2]}, style="no_upload"),
+    _t("compute.server_metadata", server_metadata,
+       {"update_key": [True, False], "delete_key": [True, False]},
+       style="network_first"),
+    _t("compute.keypair_lifecycle", keypair_lifecycle,
+       {"n_keypairs": [1, 2, 3], "show_each": [False, True]}),
+    _t("compute.flavor_lifecycle", flavor_lifecycle,
+       {"extra_specs": [True, False], "check_access": [False, True]}),
+    _t("compute.hypervisor_queries", hypervisor_queries,
+       {"hypervisors": [True, False], "stats": [False, True],
+        "zones": [False, True], "migrations": [False, True]}),
+    _t("compute.boot_many_reads", boot_many_reads,
+       {"diagnostics": [True, False], "actions_log": [False, True]},
+       style="default_network"),
+    _t("compute.server_group_ops", server_group_ops, {"show": [True, False]}),
+    _t("compute.boot_from_volume", boot_from_volume,
+       {"volume_gb": [2.0, 4.0]}, style="default_network"),
+    _t("compute.server_floatingip", server_floatingip,
+       {"disassociate": [True, False]}, style="network_first"),
+    _t("compute.server_secgroups", server_secgroups,
+       {"n_rules": [1, 2]}, style="image_first"),
+]

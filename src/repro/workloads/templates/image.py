@@ -1,0 +1,120 @@
+"""Image-category templates (Glance scenarios)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.workloads.templates import Template
+from repro.workloads.toolkit import OpenStackClient
+
+_COMMON = {
+    "pre_list": [0, 1],
+    "post_get": [False, True],
+}
+
+
+def _finish(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    if v.get("post_get"):
+        yield from client.rest("glance", "GET", "/v2/images")
+
+
+def _prelude(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    yield from client.rest("glance", "GET", "/v2/schemas/images")
+    for _ in range(v.get("pre_list", 0)):
+        yield from client.rest("glance", "GET", "/v2/images")
+
+
+def upload_image(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Register + upload an image; the §7.2.1 scenario when disk is low."""
+    yield from _prelude(client, v)
+    image_id = yield from client.create_image(size_gb=v["size_gb"])
+    yield from client.rest("glance", "GET", "/v2/images/{id}", {"id": image_id})
+    yield from client.rest("glance", "GET", "/v2/images/{id}/members",
+                           {"id": image_id})
+    if v.get("keep", False):
+        return
+    yield from client.delete_image(image_id)
+    yield from _finish(client, v)
+
+
+def image_crud(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Register, update metadata, delete."""
+    yield from _prelude(client, v)
+    image_id = yield from client.create_image(upload=v.get("upload", False))
+    for index in range(v.get("updates", 1)):
+        yield from client.rest("glance", "PATCH", "/v2/images/{id}",
+                               {"id": image_id, "name": f"img-v{index}"},
+                               resource_ids=(image_id,))
+    yield from client.delete_image(image_id)
+    yield from _finish(client, v)
+
+
+def deactivate_cycle(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Upload, deactivate, reactivate."""
+    yield from _prelude(client, v)
+    image_id = yield from client.create_image()
+    yield from client.rest("glance", "POST", "/v2/images/{id}/actions/deactivate",
+                           {"id": image_id}, resource_ids=(image_id,))
+    if v.get("verify", True):
+        yield from client.rest("glance", "GET", "/v2/images/{id}", {"id": image_id})
+    yield from client.rest("glance", "POST", "/v2/images/{id}/actions/reactivate",
+                           {"id": image_id}, resource_ids=(image_id,))
+    yield from client.delete_image(image_id)
+    yield from _finish(client, v)
+
+
+def share_image(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Share an image with other tenants."""
+    yield from _prelude(client, v)
+    image_id = yield from client.create_image()
+    for index in range(v["n_members"]):
+        yield from client.rest("glance", "POST", "/v2/images/{id}/members",
+                               {"id": image_id, "member": f"tenant-{index}"},
+                               resource_ids=(image_id,))
+    yield from client.rest("glance", "GET", "/v2/images/{id}/members",
+                           {"id": image_id})
+    yield from client.delete_image(image_id)
+    yield from _finish(client, v)
+
+
+def download_image(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Upload then download image data."""
+    yield from _prelude(client, v)
+    image_id = yield from client.create_image(size_gb=v["size_gb"])
+    for _ in range(v.get("downloads", 1)):
+        yield from client.rest("glance", "GET", "/v2/images/{id}/file",
+                               {"id": image_id}, resource_ids=(image_id,))
+    yield from client.delete_image(image_id)
+    yield from _finish(client, v)
+
+
+def image_tags(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Add and remove image tags."""
+    yield from _prelude(client, v)
+    image_id = yield from client.create_image(upload=False)
+    for index in range(v["n_tags"]):
+        yield from client.rest("glance", "PUT", "/v2/images/{id}/tags/{tag}",
+                               {"id": image_id, "tag": f"tag-{index}"},
+                               resource_ids=(image_id,))
+    if v.get("remove", True):
+        yield from client.rest("glance", "DELETE", "/v2/images/{id}/tags/{tag}",
+                               {"id": image_id, "tag": "tag-0"},
+                               resource_ids=(image_id,))
+    yield from client.delete_image(image_id)
+    yield from _finish(client, v)
+
+
+def _t(name: str, script, extra: Dict[str, Any]) -> Template:
+    knobs = dict(_COMMON)
+    knobs.update(extra)
+    return Template(name=name, category="image", script=script, knobs=knobs)
+
+
+TEMPLATES = [
+    _t("image.upload", upload_image, {"size_gb": [0.5, 1.0, 2.0], "keep": [False]}),
+    _t("image.crud", image_crud, {"updates": [1, 2], "upload": [False, True]}),
+    _t("image.deactivate_cycle", deactivate_cycle, {"verify": [True, False]}),
+    _t("image.share", share_image, {"n_members": [1, 2]}),
+    _t("image.download", download_image, {"size_gb": [0.5, 1.0], "downloads": [1, 2]}),
+    _t("image.tags", image_tags, {"n_tags": [1, 2], "remove": [True, False]}),
+]

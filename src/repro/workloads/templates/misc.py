@@ -1,0 +1,177 @@
+"""Miscellaneous-category templates: identity, quotas, Swift, read sweeps.
+
+The paper groups "management tasks, like querying for key pairs,
+availability zones, etc." here — light, read-heavy operations with the
+smallest fingerprints of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.workloads.templates import Template
+from repro.workloads.toolkit import OpenStackClient
+
+_COMMON = {
+    "post_get": [False, True],
+}
+
+
+def _finish(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    if v.get("post_get"):
+        yield from client.rest("nova", "GET", "/v2.1/limits")
+
+
+def identity_users(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Keystone user CRUD with the role/project discovery reads a real
+    identity workflow performs."""
+    yield from client.rest("keystone", "GET", "/v3/roles")
+    yield from client.rest("keystone", "GET", "/v3/projects")
+    user_ids = []
+    for index in range(v["n_users"]):
+        response = yield from client.rest("keystone", "POST", "/v3/users",
+                                          {"name": f"user-{index}"})
+        user_ids.append(response.data.get("user", {}).get("id", f"user-{index}"))
+    yield from client.rest("keystone", "GET", "/v3/users")
+    if v.get("check_assignments", True):
+        yield from client.rest("keystone", "GET", "/v3/role_assignments")
+    for user_id in user_ids:
+        yield from client.rest("keystone", "GET", "/v3/users/{id}/groups",
+                               {"id": user_id})
+        yield from client.rest("keystone", "DELETE", "/v3/users/{id}",
+                               {"id": user_id}, resource_ids=(user_id,))
+    yield from _finish(client, v)
+
+
+def identity_projects(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Keystone project CRUD with role assignment."""
+    yield from client.rest("keystone", "GET", "/v3/domains")
+    response = yield from client.rest("keystone", "POST", "/v3/projects",
+                                      {"name": "proj"})
+    project_id = response.data.get("project", {}).get("id", "proj")
+    yield from client.rest("keystone", "GET", "/v3/projects/{id}",
+                           {"id": project_id})
+    if v.get("assign_role", True):
+        yield from client.rest(
+            "keystone", "PUT", "/v3/projects/{id}/users/{user}/roles/{role}",
+            {"id": project_id, "user": "u1", "role": "member"},
+            resource_ids=(project_id,),
+        )
+        yield from client.rest(
+            "keystone", "GET", "/v3/projects/{id}/users/{user}/roles",
+            {"id": project_id, "user": "u1"},
+        )
+    yield from client.rest("keystone", "DELETE", "/v3/projects/{id}",
+                           {"id": project_id}, resource_ids=(project_id,))
+    yield from _finish(client, v)
+
+
+def quota_queries(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Query (and optionally set) quotas across services."""
+    yield from client.rest("nova", "GET", "/v2.1/limits")
+    yield from client.rest("cinder", "GET", "/v2/{tenant}/limits")
+    yield from client.rest("nova", "GET", "/v2.1/os-quota-sets/{tenant}", {})
+    yield from client.rest("cinder", "GET", "/v2/{tenant}/os-quota-sets/{target}", {})
+    if v.get("defaults", True):
+        yield from client.rest("nova", "GET", "/v2.1/os-quota-sets/{tenant}/defaults", {})
+    if v.get("neutron_too", False):
+        yield from client.rest("neutron", "GET", "/v2.0/quotas.json")
+    if v.get("set_quota", False):
+        yield from client.rest("nova", "PUT", "/v2.1/os-quota-sets/{tenant}", {})
+    yield from _finish(client, v)
+
+
+def zone_queries(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Availability zones / limits read sweep."""
+    yield from client.rest("nova", "GET", "/v2.1/os-availability-zone")
+    if v.get("detail", False):
+        yield from client.rest("nova", "GET", "/v2.1/os-availability-zone/detail")
+    if v.get("limits", True):
+        yield from client.rest("nova", "GET", "/v2.1/limits")
+    if v.get("usage", False):
+        yield from client.rest("nova", "GET", "/v2.1/os-simple-tenant-usage")
+    yield from _finish(client, v)
+
+
+def keypair_queries(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Keypair/zone listing (the paper's example of a Misc task)."""
+    yield from client.rest("nova", "GET", "/v2.1/os-keypairs")
+    yield from client.rest("nova", "GET", "/v2.1/os-availability-zone")
+    yield from client.rest("nova", "GET", "/v2.1/os-simple-tenant-usage/{tenant}", {})
+    if v.get("create_one", False):
+        response = yield from client.rest("nova", "POST", "/v2.1/os-keypairs",
+                                          {"name": "probe"})
+        yield from client.rest("nova", "DELETE", "/v2.1/os-keypairs/{id}",
+                               {"id": response.data.get("id", "probe")})
+    yield from _finish(client, v)
+
+
+def swift_objects(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Container + object lifecycle in Swift."""
+    yield from client.rest("swift", "PUT", "/v1/{account}/{container}",
+                           {"container": "bench"})
+    object_names = [f"obj-{index}" for index in range(v["n_objects"])]
+    for name in object_names:
+        yield from client.rest("swift", "PUT", "/v1/{account}/{container}/{object}",
+                               {"container": "bench", "object": name,
+                                "size_gb": 0.05})
+    if v.get("stat", True):
+        yield from client.rest("swift", "HEAD", "/v1/{account}/{container}",
+                               {"container": "bench"})
+    for name in object_names:
+        yield from client.rest("swift", "DELETE", "/v1/{account}/{container}/{object}",
+                               {"container": "bench", "object": name})
+    if v.get("delete_container", True):
+        yield from client.rest("swift", "DELETE", "/v1/{account}/{container}",
+                               {"container": "bench"})
+    yield from _finish(client, v)
+
+
+def extension_queries(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Version/extension discovery sweep."""
+    yield from client.rest("nova", "GET", "/v2.1/extensions")
+    yield from client.rest("glance", "GET", "/v2/schemas/image")
+    yield from client.rest("cinder", "GET", "/v2/")
+    if v.get("neutron", True):
+        yield from client.rest("neutron", "GET", "/v2.0/extensions.json")
+    if v.get("versions", False):
+        yield from client.rest("nova", "GET", "/v2.1/")
+        yield from client.rest("glance", "GET", "/v2/")
+    yield from _finish(client, v)
+
+
+def service_listing(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Cross-service health listing (nova + cinder + neutron agents)."""
+    yield from client.rest("nova", "GET", "/v2.1/os-services")
+    yield from client.rest("nova", "GET", "/v2.1/os-hypervisors")
+    yield from client.rest("nova", "GET", "/v2.1/os-hypervisors/statistics")
+    if v.get("cinder", True):
+        yield from client.rest("cinder", "GET", "/v2/{tenant}/os-services")
+    if v.get("neutron", False):
+        yield from client.rest("neutron", "GET", "/v2.0/agents")
+    yield from _finish(client, v)
+
+
+def _t(name: str, script, extra: Dict[str, Any]) -> Template:
+    knobs = dict(_COMMON)
+    knobs.update(extra)
+    return Template(name=name, category="misc", script=script, knobs=knobs)
+
+
+TEMPLATES = [
+    _t("misc.identity_users", identity_users, {"n_users": [1, 2, 3]}),
+    _t("misc.identity_projects", identity_projects, {"assign_role": [True, False]}),
+    _t("misc.quota_queries", quota_queries,
+       {"defaults": [True, False], "neutron_too": [False, True],
+        "set_quota": [False, True]}),
+    _t("misc.zone_queries", zone_queries,
+       {"detail": [False, True], "limits": [True, False], "usage": [False, True]}),
+    _t("misc.keypair_queries", keypair_queries, {"create_one": [False, True]}),
+    _t("misc.swift_objects", swift_objects,
+       {"n_objects": [1, 2, 3], "stat": [True, False],
+        "delete_container": [True, False]}),
+    _t("misc.extension_queries", extension_queries,
+       {"neutron": [True, False], "versions": [False, True]}),
+    _t("misc.service_listing", service_listing,
+       {"cinder": [True, False], "neutron": [False, True]}),
+]

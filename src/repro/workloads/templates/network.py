@@ -1,0 +1,196 @@
+"""Network-category templates (Neutron scenarios)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.workloads.templates import Template
+from repro.workloads.toolkit import OpenStackClient
+
+_COMMON = {
+    "pre_list": [0, 1],
+    "post_get": [False, True],
+}
+
+
+def _prelude(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    for _ in range(v.get("pre_list", 0)):
+        yield from client.rest("neutron", "GET", "/v2.0/networks.json")
+
+
+def _finish(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    if v.get("post_get"):
+        yield from client.rest("neutron", "GET", "/v2.0/ports.json")
+
+
+def network_crud(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Create networks (+subnets), verify, delete."""
+    yield from _prelude(client, v)
+    network_ids = []
+    for index in range(v["n_networks"]):
+        network_id = yield from client.create_network(
+            name=f"net-{index}", with_subnet=v.get("with_subnet", True)
+        )
+        network_ids.append(network_id)
+    if v.get("show_each", True):
+        for network_id in network_ids:
+            yield from client.rest("neutron", "GET", "/v2.0/networks.json/{id}",
+                                   {"id": network_id})
+    for network_id in network_ids:
+        yield from client.delete_network(network_id)
+    yield from _finish(client, v)
+
+
+def port_crud(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Create ports on a network, update, delete."""
+    yield from _prelude(client, v)
+    network_id = yield from client.create_network()
+    port_ids = []
+    for _ in range(v["n_ports"]):
+        port_id = yield from client.create_port(network_id)
+        port_ids.append(port_id)
+    if v.get("update", True):
+        for port_id in port_ids:
+            yield from client.rest("neutron", "PUT", "/v2.0/ports.json/{id}",
+                                   {"id": port_id}, resource_ids=(port_id,))
+    for port_id in port_ids:
+        yield from client.delete_port(port_id)
+    yield from client.delete_network(network_id)
+    yield from _finish(client, v)
+
+
+def router_lifecycle(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Router with interfaces on fresh subnets."""
+    yield from _prelude(client, v)
+    router_id = yield from client.create_router()
+    subnet_ids = []
+    network_ids = []
+    for _ in range(v["n_interfaces"]):
+        network_id = yield from client.create_network(with_subnet=False)
+        network_ids.append(network_id)
+        response = yield from client.rest("neutron", "POST", "/v2.0/subnets.json",
+                                          {"network_id": network_id},
+                                          resource_ids=(network_id,))
+        subnet_ids.append(response.data["id"])
+        yield from client.rest(
+            "neutron", "PUT", "/v2.0/routers/{id}/add_router_interface",
+            {"id": router_id, "subnet_id": subnet_ids[-1]},
+            resource_ids=(router_id, subnet_ids[-1]),
+        )
+    for subnet_id in subnet_ids:
+        yield from client.rest(
+            "neutron", "PUT", "/v2.0/routers/{id}/remove_router_interface",
+            {"id": router_id, "subnet_id": subnet_id},
+            resource_ids=(router_id, subnet_id),
+        )
+    yield from client.delete_router(router_id)
+    for network_id in network_ids:
+        yield from client.delete_network(network_id)
+    yield from _finish(client, v)
+
+
+def floatingip_lifecycle(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Allocate a floating IP, associate it with a port, release."""
+    yield from _prelude(client, v)
+    network_id = yield from client.create_network()
+    port_id = yield from client.create_port(network_id)
+    response = yield from client.rest("neutron", "POST", "/v2.0/floatingips.json", {})
+    fip_id = response.data["id"]
+    if v.get("associate", True):
+        yield from client.rest("neutron", "PUT", "/v2.0/floatingips.json/{id}",
+                               {"id": fip_id, "port_id": port_id},
+                               resource_ids=(fip_id, port_id))
+    yield from client.rest("neutron", "DELETE", "/v2.0/floatingips.json/{id}",
+                           {"id": fip_id}, resource_ids=(fip_id,))
+    yield from client.delete_port(port_id)
+    yield from client.delete_network(network_id)
+    yield from _finish(client, v)
+
+
+def secgroup_lifecycle(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Security group with rules."""
+    yield from _prelude(client, v)
+    response = yield from client.rest("neutron", "POST",
+                                      "/v2.0/security-groups.json", {})
+    sg_id = response.data["id"]
+    for _ in range(v["n_rules"]):
+        yield from client.rest("neutron", "POST", "/v2.0/security-group-rules.json",
+                               {"security_group_id": sg_id}, resource_ids=(sg_id,))
+    if v.get("show", True):
+        yield from client.rest("neutron", "GET", "/v2.0/security-groups.json/{id}",
+                               {"id": sg_id})
+    yield from client.rest("neutron", "DELETE", "/v2.0/security-groups.json/{id}",
+                           {"id": sg_id}, resource_ids=(sg_id,))
+    yield from _finish(client, v)
+
+
+def subnet_crud(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Subnets on one network."""
+    yield from _prelude(client, v)
+    network_id = yield from client.create_network(with_subnet=False)
+    subnet_ids = []
+    for _ in range(v["n_subnets"]):
+        response = yield from client.rest("neutron", "POST", "/v2.0/subnets.json",
+                                          {"network_id": network_id},
+                                          resource_ids=(network_id,))
+        subnet_ids.append(response.data["id"])
+    for subnet_id in subnet_ids:
+        yield from client.rest("neutron", "DELETE", "/v2.0/subnets.json/{id}",
+                               {"id": subnet_id}, resource_ids=(subnet_id,))
+    yield from client.delete_network(network_id)
+    yield from _finish(client, v)
+
+
+def agent_queries(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Admin sweep over agents and quotas."""
+    yield from client.rest("neutron", "GET", "/v2.0/agents")
+    if v.get("quotas", True):
+        yield from client.rest("neutron", "GET", "/v2.0/quotas.json")
+    if v.get("extensions", False):
+        yield from client.rest("neutron", "GET", "/v2.0/extensions.json")
+    if v.get("set_quota", False):
+        yield from client.rest("neutron", "PUT", "/v2.0/quotas/{tenant}", {})
+    yield from _finish(client, v)
+
+
+def port_binding(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Bind ports on a hypervisor (exercises the L2-agent RPC path)."""
+    yield from _prelude(client, v)
+    network_id = yield from client.create_network()
+    host = f"compute-{v.get('host_index', 1)}"
+    port_ids = []
+    for _ in range(v.get("n_ports", 1)):
+        port_id = yield from client.create_port(network_id, host=host)
+        port_ids.append(port_id)
+    if v.get("check_agents", True):
+        yield from client.rest("neutron", "GET", "/v2.0/agents")
+    for port_id in port_ids:
+        yield from client.rest("neutron", "GET", "/v2.0/ports.json/{id}",
+                               {"id": port_id})
+        yield from client.delete_port(port_id)
+    yield from client.delete_network(network_id)
+    yield from _finish(client, v)
+
+
+def _t(name: str, script, extra: Dict[str, Any]) -> Template:
+    knobs = dict(_COMMON)
+    knobs.update(extra)
+    return Template(name=name, category="network", script=script, knobs=knobs)
+
+
+TEMPLATES = [
+    _t("network.crud", network_crud,
+       {"n_networks": [1, 2, 3], "with_subnet": [True, False],
+        "show_each": [True, False]}),
+    _t("network.port_crud", port_crud, {"n_ports": [1, 2, 3], "update": [True, False]}),
+    _t("network.router_lifecycle", router_lifecycle, {"n_interfaces": [1, 2]}),
+    _t("network.floatingip", floatingip_lifecycle, {"associate": [True, False]}),
+    _t("network.secgroup", secgroup_lifecycle,
+       {"n_rules": [1, 2, 3], "show": [True, False]}),
+    _t("network.subnet_crud", subnet_crud, {"n_subnets": [1, 2]}),
+    _t("network.agent_queries", agent_queries,
+       {"quotas": [True, False], "extensions": [False, True],
+        "set_quota": [False, True]}),
+    _t("network.port_binding", port_binding,
+       {"n_ports": [1, 2], "host_index": [1, 2, 3], "check_agents": [True, False]}),
+]

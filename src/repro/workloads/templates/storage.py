@@ -1,0 +1,154 @@
+"""Storage-category templates (Cinder scenarios)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.workloads.templates import Template
+from repro.workloads.toolkit import OpenStackClient
+
+_COMMON = {
+    "pre_list": [0, 1],
+    "post_get": [False, True],
+}
+
+
+def _prelude(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    yield from client.rest("cinder", "GET", "/v2/{tenant}/types")
+    yield from client.rest("cinder", "GET", "/v2/{tenant}/os-availability-zone")
+    for _ in range(v.get("pre_list", 0)):
+        yield from client.rest("cinder", "GET", "/v2/{tenant}/volumes")
+
+
+def _finish(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    if v.get("post_get"):
+        yield from client.rest("cinder", "GET", "/v2/{tenant}/volumes/detail")
+
+
+def volume_crud(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Create volumes, verify, delete."""
+    yield from _prelude(client, v)
+    volume_ids = []
+    for _ in range(v["n_volumes"]):
+        volume_id = yield from client.create_volume(size_gb=v.get("size_gb", 1.0))
+        volume_ids.append(volume_id)
+    if v.get("show_each", True):
+        for volume_id in volume_ids:
+            yield from client.rest("cinder", "GET", "/v2/{tenant}/volumes/{id}",
+                                   {"id": volume_id})
+            yield from client.rest("cinder", "GET",
+                                   "/v2/{tenant}/volumes/{id}/metadata",
+                                   {"id": volume_id})
+    for volume_id in volume_ids:
+        yield from client.delete_volume(volume_id)
+    yield from _finish(client, v)
+
+
+def volume_extend(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Extend an available volume."""
+    yield from _prelude(client, v)
+    volume_id = yield from client.create_volume()
+    yield from client.rest(
+        "cinder", "POST", "/v2/{tenant}/volumes/{id}/action#os-extend",
+        {"id": volume_id, "new_size": v["new_size"]}, resource_ids=(volume_id,),
+    )
+    yield from client.delete_volume(volume_id)
+    yield from _finish(client, v)
+
+
+def volume_snapshot(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Snapshot a volume (the paper's S2-style operation)."""
+    yield from _prelude(client, v)
+    volume_id = yield from client.create_volume()
+    snapshot_ids = []
+    for _ in range(v["n_snapshots"]):
+        response = yield from client.rest("cinder", "POST", "/v2/{tenant}/snapshots",
+                                          {"volume_id": volume_id},
+                                          resource_ids=(volume_id,))
+        snapshot_ids.append(response.data["id"])
+    if v.get("show", True):
+        for snapshot_id in snapshot_ids:
+            yield from client.rest("cinder", "GET", "/v2/{tenant}/snapshots/{id}",
+                                   {"id": snapshot_id})
+    for snapshot_id in snapshot_ids:
+        yield from client.rest("cinder", "DELETE", "/v2/{tenant}/snapshots/{id}",
+                               {"id": snapshot_id}, resource_ids=(snapshot_id,))
+    yield from client.delete_volume(volume_id)
+    yield from _finish(client, v)
+
+
+def volume_backup(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Back a volume up into Swift."""
+    yield from _prelude(client, v)
+    volume_id = yield from client.create_volume(size_gb=v.get("size_gb", 1.0))
+    response = yield from client.rest("cinder", "POST", "/v2/{tenant}/backups",
+                                      {"volume_id": volume_id},
+                                      resource_ids=(volume_id,))
+    backup_id = response.data["id"]
+    if v.get("delete_backup", True):
+        # Allow the async swift upload to land before deleting.
+        yield from client.ctx.sleep(0.1)
+        yield from client.rest("cinder", "DELETE", "/v2/{tenant}/backups/{id}",
+                               {"id": backup_id}, resource_ids=(backup_id,))
+    yield from client.delete_volume(volume_id)
+    yield from _finish(client, v)
+
+
+def volume_to_image(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Upload a volume's contents as a Glance image."""
+    yield from _prelude(client, v)
+    volume_id = yield from client.create_volume(size_gb=v.get("size_gb", 1.0))
+    yield from client.rest(
+        "cinder", "POST", "/v2/{tenant}/volumes/{id}/action#os-volume_upload_image",
+        {"id": volume_id}, resource_ids=(volume_id,),
+    )
+    if v.get("verify", True):
+        yield from client.rest("glance", "GET", "/v2/images")
+    yield from client.delete_volume(volume_id)
+    yield from _finish(client, v)
+
+
+def volume_types(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Volume-type CRUD with extra specs."""
+    response = yield from client.rest("cinder", "POST", "/v2/{tenant}/types",
+                                      {"name": "fast"})
+    type_id = response.data.get("id", "fast")
+    if v.get("extra_specs", True):
+        yield from client.rest("cinder", "POST",
+                               "/v2/{tenant}/types/{id}/extra_specs",
+                               {"id": type_id}, resource_ids=(type_id,))
+    yield from client.rest("cinder", "GET", "/v2/{tenant}/types")
+    yield from client.rest("cinder", "DELETE", "/v2/{tenant}/types/{id}",
+                           {"id": type_id}, resource_ids=(type_id,))
+    yield from _finish(client, v)
+
+
+def storage_queries(client: OpenStackClient, v: Dict[str, Any]) -> Generator:
+    """Admin read sweep over cinder services/limits/pools."""
+    yield from client.rest("cinder", "GET", "/v2/{tenant}/os-services")
+    if v.get("limits", True):
+        yield from client.rest("cinder", "GET", "/v2/{tenant}/limits")
+    if v.get("pools", False):
+        yield from client.rest("cinder", "GET",
+                               "/v2/{tenant}/scheduler-stats/get_pools")
+    yield from _finish(client, v)
+
+
+def _t(name: str, script, extra: Dict[str, Any]) -> Template:
+    knobs = dict(_COMMON)
+    knobs.update(extra)
+    return Template(name=name, category="storage", script=script, knobs=knobs)
+
+
+TEMPLATES = [
+    _t("storage.volume_crud", volume_crud,
+       {"n_volumes": [1, 2], "show_each": [True, False]}),
+    _t("storage.volume_extend", volume_extend, {"new_size": [2.0, 4.0]}),
+    _t("storage.volume_snapshot", volume_snapshot,
+       {"n_snapshots": [1, 2], "show": [True, False]}),
+    _t("storage.volume_backup", volume_backup, {"delete_backup": [True, False]}),
+    _t("storage.volume_to_image", volume_to_image, {"verify": [True, False]}),
+    _t("storage.volume_types", volume_types, {"extra_specs": [True, False]}),
+    _t("storage.queries", storage_queries,
+       {"limits": [True, False], "pools": [False, True]}),
+]

@@ -1,0 +1,233 @@
+"""A typed scripting client for administrative operations.
+
+Operation templates are written against :class:`OpenStackClient`, which
+wraps a :class:`~repro.openstack.messaging.CallContext` with the common
+create/wait/delete patterns a real Tempest test performs through the
+python-*client libraries.  Every method is a generator and must be
+driven with ``yield from`` inside a simulation process.
+
+Failures raise :class:`OperationFailed`, carrying the failing response,
+so the workload runner can record the operation as faulty without
+unwinding the whole simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.messaging import CallContext, Response
+
+
+class OperationFailed(Exception):
+    """An administrative operation hit an API error or a poll timeout."""
+
+    def __init__(self, message: str, response: Optional[Response] = None):
+        super().__init__(message)
+        self.response = response
+
+
+class OpenStackClient:
+    """Tenant-side helper verbs used by the operation templates."""
+
+    def __init__(self, cloud: Cloud, ctx: CallContext):
+        self.cloud = cloud
+        self.ctx = ctx
+
+    # -- low-level --------------------------------------------------------
+
+    def _check(self, response: Response, what: str) -> Response:
+        if response.error:
+            raise OperationFailed(f"{what} failed: {response.status} {response.body}",
+                                  response)
+        return response
+
+    def rest(self, service: str, method: str, name: str,
+             params: Optional[Dict[str, Any]] = None, **kw) -> Generator:
+        """Raw REST call that raises :class:`OperationFailed` on error."""
+        response = yield from self.ctx.rest(service, method, name, params, **kw)
+        return self._check(response, f"{method} {name}")
+
+    def rest_allow_error(self, service: str, method: str, name: str,
+                         params: Optional[Dict[str, Any]] = None, **kw) -> Generator:
+        """Raw REST call returning the response even on error."""
+        response = yield from self.ctx.rest(service, method, name, params, **kw)
+        return response
+
+    def _poll(self, service: str, name: str, params: Dict[str, Any],
+              extract, accept, failure_states=()) -> Generator:
+        """Poll a GET until ``accept(value)`` or an error/limit."""
+        config = self.cloud.config
+        last = None
+        for _ in range(config.poll_limit):
+            yield from self.ctx.sleep(config.poll_interval)
+            response = yield from self.ctx.rest(service, "GET", name, params)
+            if response.error:
+                raise OperationFailed(
+                    f"poll GET {name} -> {response.status} {response.body}", response
+                )
+            last = extract(response)
+            if accept(last):
+                return last
+            if failure_states and last in failure_states:
+                raise OperationFailed(f"resource entered state {last!r}", response)
+        raise OperationFailed(f"poll GET {name} timed out in state {last!r}")
+
+    # -- images ---------------------------------------------------------------
+
+    def create_image(self, name: str = "img", size_gb: float = 1.0,
+                     upload: bool = True) -> Generator:
+        """Register (and optionally upload) an image; returns its id."""
+        response = yield from self.rest("glance", "POST", "/v2/images", {"name": name})
+        image_id = response.data["id"]
+        if upload:
+            yield from self.rest(
+                "glance", "PUT", "/v2/images/{id}/file",
+                {"id": image_id, "size_gb": size_gb}, resource_ids=(image_id,),
+            )
+        return image_id
+
+    def delete_image(self, image_id: str) -> Generator:
+        """Delete an image."""
+        yield from self.rest("glance", "DELETE", "/v2/images/{id}", {"id": image_id},
+                             resource_ids=(image_id,))
+
+    # -- networks ----------------------------------------------------------------
+
+    def create_network(self, name: str = "net", with_subnet: bool = True) -> Generator:
+        """Create a network (and optionally a subnet); returns network id."""
+        response = yield from self.rest("neutron", "POST", "/v2.0/networks.json",
+                                        {"name": name})
+        network_id = response.data["id"]
+        if with_subnet:
+            yield from self.rest("neutron", "POST", "/v2.0/subnets.json",
+                                 {"network_id": network_id},
+                                 resource_ids=(network_id,))
+        return network_id
+
+    def delete_network(self, network_id: str) -> Generator:
+        """Delete a network."""
+        yield from self.rest("neutron", "DELETE", "/v2.0/networks.json/{id}",
+                             {"id": network_id}, resource_ids=(network_id,))
+
+    def create_port(self, network_id: str, host: str = "") -> Generator:
+        """Create a port on a network; returns port id."""
+        params: Dict[str, Any] = {"network_id": network_id}
+        if host:
+            params["binding_host"] = host
+        response = yield from self.rest("neutron", "POST", "/v2.0/ports.json", params,
+                                        resource_ids=(network_id,))
+        return response.data["id"]
+
+    def delete_port(self, port_id: str) -> Generator:
+        """Delete a port."""
+        yield from self.rest("neutron", "DELETE", "/v2.0/ports.json/{id}",
+                             {"id": port_id}, resource_ids=(port_id,))
+
+    def create_router(self, name: str = "rtr") -> Generator:
+        """Create a router; returns its id."""
+        response = yield from self.rest("neutron", "POST", "/v2.0/routers.json",
+                                        {"name": name})
+        return response.data["id"]
+
+    def delete_router(self, router_id: str) -> Generator:
+        """Delete a router."""
+        yield from self.rest("neutron", "DELETE", "/v2.0/routers.json/{id}",
+                             {"id": router_id}, resource_ids=(router_id,))
+
+    # -- servers --------------------------------------------------------------------
+
+    def create_server(self, image_id: str, network_id: str = "",
+                      name: str = "vm", flavor: str = "m1.small",
+                      wait: bool = True) -> Generator:
+        """Boot a server; optionally wait for ACTIVE.  Returns server id."""
+        params = {"name": name, "image": image_id, "flavor": flavor}
+        if network_id:
+            params["network"] = network_id
+        response = yield from self.rest("nova", "POST", "/v2.1/servers", params,
+                                        resource_ids=(image_id, network_id))
+        server_id = response.data["server"]["id"]
+        if wait:
+            yield from self.wait_server(server_id, "ACTIVE")
+        return server_id
+
+    def wait_server(self, server_id: str, target: str = "ACTIVE") -> Generator:
+        """Poll the server until it reaches ``target`` (500s raise)."""
+        status = yield from self._poll(
+            "nova", "/v2.1/servers/{id}", {"id": server_id},
+            extract=lambda r: r.data.get("server", {}).get("status"),
+            accept=lambda status: status == target,
+        )
+        return status
+
+    def server_action(self, server_id: str, action: str,
+                      params: Optional[Dict[str, Any]] = None) -> Generator:
+        """Invoke a POST server action."""
+        merged = {"id": server_id}
+        merged.update(params or {})
+        yield from self.rest("nova", "POST", f"/v2.1/servers/{{id}}/action#{action}",
+                             merged, resource_ids=(server_id,))
+
+    def delete_server(self, server_id: str, wait: bool = True) -> Generator:
+        """Delete a server; optionally wait until it is gone.
+
+        Waiting polls the tenant's server *list* rather than the
+        instance URL: a GET on a deleted instance answers 404, which a
+        passive fault-localization system must treat as an API error —
+        routine teardown should not look like a fault on the wire.
+        """
+        yield from self.rest("nova", "DELETE", "/v2.1/servers/{id}",
+                             {"id": server_id}, resource_ids=(server_id,))
+        if wait:
+            config = self.cloud.config
+            for _ in range(config.poll_limit):
+                yield from self.ctx.sleep(config.poll_interval)
+                response = yield from self.rest("nova", "GET", "/v2.1/servers")
+                present = any(
+                    row.get("id") == server_id
+                    for row in response.data.get("servers", ())
+                )
+                if not present:
+                    return
+            raise OperationFailed(f"server {server_id} never disappeared")
+
+    # -- volumes ----------------------------------------------------------------------
+
+    def create_volume(self, size_gb: float = 1.0, wait: bool = True) -> Generator:
+        """Create a volume; optionally wait for ``available``."""
+        response = yield from self.rest("cinder", "POST", "/v2/{tenant}/volumes",
+                                        {"size_gb": size_gb})
+        volume_id = response.data["id"]
+        if wait:
+            yield from self.wait_volume(volume_id, "available")
+        return volume_id
+
+    def wait_volume(self, volume_id: str, target: str = "available") -> Generator:
+        """Poll the volume until it reaches ``target``."""
+        status = yield from self._poll(
+            "cinder", "/v2/{tenant}/volumes/{id}", {"id": volume_id},
+            extract=lambda r: r.data.get("volume", {}).get("status"),
+            accept=lambda status: status == target,
+        )
+        return status
+
+    def delete_volume(self, volume_id: str) -> Generator:
+        """Delete a volume (asynchronous; no wait needed for tests)."""
+        yield from self.rest("cinder", "DELETE", "/v2/{tenant}/volumes/{id}",
+                             {"id": volume_id}, resource_ids=(volume_id,))
+
+    def attach_volume(self, server_id: str, volume_id: str) -> Generator:
+        """Attach a volume to a server."""
+        yield from self.rest(
+            "nova", "POST", "/v2.1/servers/{id}/os-volume_attachments",
+            {"id": server_id, "volume_id": volume_id},
+            resource_ids=(server_id, volume_id),
+        )
+
+    def detach_volume(self, server_id: str, volume_id: str) -> Generator:
+        """Detach a volume from a server."""
+        yield from self.rest(
+            "nova", "DELETE", "/v2.1/servers/{id}/os-volume_attachments/{vol_id}",
+            {"id": server_id, "vol_id": volume_id},
+            resource_ids=(server_id, volume_id),
+        )

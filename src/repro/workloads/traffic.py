@@ -1,0 +1,144 @@
+"""Synthetic event-stream generation (the tcpreplay substitute, §7.4.1).
+
+For the throughput experiments the paper replays RPC/REST events at
+controlled rates with controlled fault frequencies.  This module
+fabricates :class:`~repro.openstack.wire.WireEvent` streams directly
+from a fingerprint library: a pool of concurrent "operations" (each a
+fingerprint's API sequence) is interleaved round-robin at a fixed
+packet rate, and every ``fault_every``-th REST message carries an
+error status.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.openstack.apis import Api, ApiKind
+from repro.openstack.catalog import ApiCatalog, default_catalog
+from repro.openstack.topology import Topology, default_topology
+from repro.openstack.wire import WireEvent
+from repro.core.fingerprint import FingerprintLibrary
+from repro.core.symbols import SymbolTable
+
+
+class SyntheticStream:
+    """Deterministic fabricated wire-event stream."""
+
+    def __init__(
+        self,
+        library: FingerprintLibrary,
+        symbols: SymbolTable,
+        *,
+        catalog: Optional[ApiCatalog] = None,
+        topology: Optional[Topology] = None,
+        rate_pps: float = 50_000.0,
+        fault_every: int = 1000,
+        concurrency: int = 50,
+        seed: int = 0,
+        rest_size: int = 220,
+        rpc_size: int = 160,
+    ):
+        if rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+        if fault_every < 1:
+            raise ValueError("fault_every must be at least 1")
+        self.library = library
+        self.symbols = symbols
+        self.catalog = catalog or default_catalog()
+        self.topology = topology or default_topology()
+        self.rate_pps = rate_pps
+        self.fault_every = fault_every
+        self.concurrency = max(1, concurrency)
+        self.rest_size = rest_size
+        self.rpc_size = rpc_size
+        self._rng = random.Random(seed)
+        self._fingerprints = [fp for fp in library if len(fp) > 0]
+        if not self._fingerprints:
+            raise ValueError("empty fingerprint library")
+
+    # -- op pool -------------------------------------------------------------
+
+    def _new_op(self, op_counter: int) -> dict:
+        fingerprint = self._rng.choice(self._fingerprints)
+        return {
+            "keys": self.symbols.decode(fingerprint.symbols),
+            "pos": 0,
+            "op_id": f"synthetic-{op_counter}",
+            "operation": fingerprint.operation,
+            "tenant": f"tenant-{op_counter % 64}",
+        }
+
+    def _fabricate(self, seq: int, api: Api, ts: float, *, op: dict,
+                   error: bool) -> WireEvent:
+        src_node = self.topology.home_of("horizon")
+        if api.kind is ApiKind.REST:
+            dst_node = self.topology.home_of(api.service)
+            size = self.rest_size
+            status = 500 if error else 200
+        else:
+            computes = self.topology.compute_nodes()
+            dst_node = self._rng.choice(computes).name
+            size = self.rpc_size
+            status = 500 if error else 200
+        latency = 0.002 * self._rng.uniform(0.5, 2.0)
+        return WireEvent(
+            seq=seq,
+            api_key=api.key,
+            kind=api.kind,
+            method=api.method,
+            name=api.name,
+            src_service="horizon",
+            src_node=src_node,
+            src_ip=self.topology.node(src_node).ip,
+            dst_service=api.service,
+            dst_node=dst_node,
+            dst_ip=self.topology.node(dst_node).ip,
+            ts_request=ts - latency,
+            ts_response=ts,
+            status=status,
+            body='{"code": 500, "message": "injected"}' if error else "",
+            size_bytes=size,
+            noise=api.noise,
+            request_id=op["op_id"],
+            tenant=op["tenant"],
+            resource_ids=(op["op_id"],),
+            op_id=op["op_id"],
+        )
+
+    # -- generation --------------------------------------------------------------
+
+    def generate(self, count: int) -> Iterator[WireEvent]:
+        """Yield ``count`` interleaved events at the configured rate."""
+        interval = 1.0 / self.rate_pps
+        op_counter = itertools.count()
+        pool: List[dict] = [self._new_op(next(op_counter))
+                            for _ in range(self.concurrency)]
+        ts = 0.0
+        emitted = 0
+        seq = 0
+        while emitted < count:
+            index = self._rng.randrange(len(pool))
+            op = pool[index]
+            key = op["keys"][op["pos"]]
+            api = self.catalog.get(key)
+            op["pos"] += 1
+            if op["pos"] >= len(op["keys"]):
+                pool[index] = self._new_op(next(op_counter))
+            seq += 1
+            emitted += 1
+            ts += interval
+            error = (
+                api.kind is ApiKind.REST
+                and emitted % self.fault_every == 0
+            )
+            yield self._fabricate(seq, api, ts, op=op, error=error)
+
+    def events(self, count: int) -> List[WireEvent]:
+        """Materialized list form of :meth:`generate`."""
+        return list(self.generate(count))
+
+    def total_bytes(self, events: Sequence[WireEvent]) -> int:
+        """Total wire bytes of a generated stream."""
+        return sum(e.size_bytes for e in events)

@@ -1,0 +1,105 @@
+"""Tests for the HANSEL baseline."""
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+from repro.baselines.hansel import HanselAnalyzer
+
+
+def make_event(seq, ts, *, status=200, request_id="", resource_ids=(),
+               tenant="t1"):
+    return WireEvent(
+        seq=seq, api_key="rest:nova:GET:/v2.1/servers", kind=ApiKind.REST,
+        method="GET", name="/v2.1/servers",
+        src_service="horizon", src_node="ctrl", src_ip="1",
+        dst_service="nova", dst_node="nova-ctl", dst_ip="2",
+        ts_request=ts - 0.01, ts_response=ts, status=status,
+        request_id=request_id, resource_ids=tuple(resource_ids), tenant=tenant,
+    )
+
+
+def test_stitches_chain_by_request_id():
+    hansel = HanselAnalyzer(bucket_window=5.0)
+    for seq in range(5):
+        hansel.on_event(make_event(seq, seq * 0.1, request_id="req-1"))
+    hansel.on_event(make_event(5, 0.5, status=500, request_id="req-1"))
+    hansel.flush()
+    assert len(hansel.reports) == 1
+    report = hansel.reports[0]
+    assert report.chain_length == 6
+    assert report.fault_event.status == 500
+
+
+def test_unrelated_chains_not_included():
+    hansel = HanselAnalyzer(bucket_window=5.0)
+    hansel.on_event(make_event(1, 0.1, request_id="req-a", tenant="a"))
+    hansel.on_event(make_event(2, 0.2, request_id="req-b", tenant="b"))
+    hansel.on_event(make_event(3, 0.3, status=500, request_id="req-b",
+                               tenant="b"))
+    hansel.flush()
+    assert len(hansel.reports) == 1
+    assert hansel.reports[0].chain_length == 2
+
+
+def test_common_tenant_links_operations():
+    """§9.2: shared identifiers link a faulty op to successful ones."""
+    hansel = HanselAnalyzer(bucket_window=5.0)
+    hansel.on_event(make_event(1, 0.1, request_id="req-a", tenant="shared"))
+    hansel.on_event(make_event(2, 0.2, request_id="req-b", tenant="shared"))
+    hansel.on_event(make_event(3, 0.3, status=500, request_id="req-b",
+                               tenant="shared"))
+    hansel.flush()
+    assert hansel.reports[0].chain_length == 3
+
+
+def test_reporting_latency_is_bucketed():
+    hansel = HanselAnalyzer(bucket_window=30.0)
+    hansel.on_event(make_event(1, 0.0, status=500, request_id="r"))
+    # Stream continues; the report appears once the bucket closes.
+    for seq in range(2, 40):
+        hansel.on_event(make_event(seq, seq * 1.0, request_id=f"x{seq}",
+                                   tenant=f"t{seq}"))
+        if hansel.reports:
+            break
+    assert hansel.reports
+    assert hansel.reports[0].reporting_latency >= 30.0
+
+
+def test_flush_uses_full_bucket_delay():
+    hansel = HanselAnalyzer(bucket_window=30.0)
+    hansel.on_event(make_event(1, 10.0, status=500, request_id="r"))
+    hansel.flush()
+    assert hansel.reports[0].reporting_latency == 30.0
+
+
+def test_chain_only_includes_messages_before_fault():
+    hansel = HanselAnalyzer(bucket_window=1.0)
+    hansel.on_event(make_event(1, 0.1, request_id="r"))
+    hansel.on_event(make_event(2, 0.2, status=500, request_id="r"))
+    hansel.on_event(make_event(3, 0.3, request_id="r"))
+    hansel.flush()
+    assert [e.seq for e in hansel.reports[0].chain] == [1, 2]
+
+
+def test_rpc_errors_do_not_trigger_reports():
+    hansel = HanselAnalyzer()
+    event = WireEvent(
+        seq=1, api_key="rpc:nova:cast:build_and_run_instance",
+        kind=ApiKind.RPC, method="cast", name="build_and_run_instance",
+        src_service="nova", src_node="ctrl", src_ip="1",
+        dst_service="nova", dst_node="compute-1", dst_ip="2",
+        ts_request=0.0, ts_response=0.1, status=500,
+    )
+    hansel.on_event(event)
+    hansel.flush()
+    assert hansel.reports == []
+
+
+def test_counters(small_character):
+    from repro.workloads.traffic import SyntheticStream
+
+    stream = SyntheticStream(small_character.library,
+                             small_character.library.symbols, fault_every=200)
+    hansel = HanselAnalyzer()
+    hansel.feed(stream.generate(1000))
+    assert hansel.events_processed == 1000
+    assert hansel.bytes_processed > 0

@@ -1,0 +1,80 @@
+"""Tests for the log-analysis baseline."""
+
+import pytest
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+from repro.baselines.loganalysis import LogAnalysisBaseline, synthesize_logs
+
+
+def make_event(status=200, body="", noise=False):
+    return WireEvent(
+        seq=1, api_key="k", kind=ApiKind.REST, method="GET", name="/x",
+        src_service="horizon", src_node="ctrl", src_ip="1",
+        dst_service="nova", dst_node="nova-ctl", dst_ip="2",
+        ts_request=0.0, ts_response=0.1, status=status, body=body, noise=noise,
+    )
+
+
+def test_success_logs_at_debug():
+    records = synthesize_logs([make_event(status=200)])
+    assert records[0].level == "DEBUG"
+
+
+def test_no_valid_host_logs_at_warning_only():
+    """§3.1.1: ERROR-level logs are empty for the scheduler failure."""
+    records = synthesize_logs(
+        [make_event(status=500, body="No valid host was found.")]
+    )
+    assert records[0].level == "WARNING"
+
+
+def test_dependency_errors_reach_error_level():
+    records = synthesize_logs([make_event(status=503, body="unreachable")])
+    assert records[0].level == "ERROR"
+
+
+def test_client_errors_log_info():
+    records = synthesize_logs([make_event(status=404)])
+    assert records[0].level == "INFO"
+
+
+def test_noise_not_logged():
+    assert synthesize_logs([make_event(noise=True)]) == []
+
+
+def test_level_filtering():
+    baseline = LogAnalysisBaseline()
+    baseline.ingest([
+        make_event(status=200),
+        make_event(status=500, body="No valid host was found."),
+        make_event(status=503, body="down"),
+    ])
+    assert len(baseline.visible_at("ERROR")) == 1
+    assert len(baseline.visible_at("WARNING")) == 2
+    assert len(baseline.visible_at("DEBUG")) == 3
+    with pytest.raises(ValueError):
+        baseline.visible_at("VERBOSE")
+
+
+def test_diagnose_misses_warning_faults_at_error_level():
+    """The paper's log-analysis failure mode: nothing at ERROR."""
+    baseline = LogAnalysisBaseline()
+    baseline.ingest([make_event(status=500, body="No valid host was found.")])
+    at_error = baseline.diagnose("ERROR")
+    at_warning = baseline.diagnose("WARNING")
+    assert not at_error["found_anything"]
+    assert at_warning["found_anything"]
+
+
+def test_diagnose_includes_collation_delay():
+    baseline = LogAnalysisBaseline(collation_delay=60.0)
+    baseline.ingest([make_event(status=503)])
+    assert baseline.diagnose("ERROR")["answer_latency"] == 60.0
+
+
+def test_performance_faults_never_log():
+    """§3.1.2: a slow-but-successful operation leaves no log trace."""
+    slow = make_event(status=200)
+    records = synthesize_logs([slow])
+    assert all(r.level == "DEBUG" for r in records)

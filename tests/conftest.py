@@ -1,0 +1,53 @@
+"""Shared fixtures: clouds, suites and cached characterizations."""
+
+import pytest
+
+from repro.openstack.cloud import Cloud
+from repro.core.characterize import characterize_suite
+from repro.workloads.tempest import TempestSuite, build_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The full 1200-test generated suite."""
+    return build_suite()
+
+
+@pytest.fixture(scope="session")
+def small_suite(suite):
+    """One test per template (~51 tests), all categories covered."""
+    seen = set()
+    tests = []
+    for test in suite.tests:
+        if test.template.name not in seen:
+            seen.add(test.template.name)
+            tests.append(test)
+    return TempestSuite(tests=tests)
+
+
+@pytest.fixture(scope="session")
+def small_character(small_suite):
+    """Characterization of the small suite (fast, uncached)."""
+    return characterize_suite(small_suite, iterations=2)
+
+
+@pytest.fixture(scope="session")
+def full_character():
+    """Characterization of the full suite (disk-cached)."""
+    from repro.evaluation.common import default_characterization
+
+    return default_characterization()
+
+
+@pytest.fixture()
+def cloud():
+    """A fresh deployment per test."""
+    return Cloud(seed=1)
+
+
+@pytest.fixture()
+def quiet_cloud():
+    """A deployment without background heartbeats (deterministic traces)."""
+    from repro.openstack.config import CloudConfig
+
+    return Cloud(seed=1, config=CloudConfig(heartbeats_enabled=False))

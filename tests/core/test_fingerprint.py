@@ -1,0 +1,296 @@
+"""Tests for fingerprint generation (Algorithm 1) and the library."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.openstack.catalog import default_catalog
+from repro.core.fingerprint import (
+    Fingerprint,
+    FingerprintLibrary,
+    filter_noise,
+    generate_fingerprint,
+    longest_common_subsequence,
+    prefix_lcs_lengths,
+)
+from repro.core.symbols import SymbolTable
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+@pytest.fixture(scope="module")
+def symbols(catalog):
+    return SymbolTable(catalog)
+
+
+def keys(catalog, *specs):
+    resolved = []
+    for spec in specs:
+        kind, service, method, name = spec
+        if kind == "rest":
+            resolved.append(catalog.find_rest(service, method, name).key)
+        else:
+            resolved.append(catalog.find_rpc(service, name).key)
+    return resolved
+
+
+# ---------------------------------------------------------------------------
+# Noise filtering
+# ---------------------------------------------------------------------------
+
+def test_filter_drops_heartbeats(catalog):
+    heartbeat = catalog.find_rpc("nova", "report_state").key
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    assert filter_noise([heartbeat, boot, heartbeat], catalog) == [boot]
+
+
+def test_filter_drops_keystone_rest(catalog):
+    auth = catalog.find_rest("keystone", "POST", "/v3/auth/tokens").key
+    users = catalog.find_rest("keystone", "GET", "/v3/users").key
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    assert filter_noise([auth, users, boot], catalog) == [boot]
+
+
+def test_filter_collapses_poll_loops(catalog):
+    poll = catalog.find_rest("nova", "GET", "/v2.1/servers/{id}").key
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    trace = [boot] + [poll] * 10
+    assert filter_noise(trace, catalog) == [boot, poll]
+
+
+def test_filter_keeps_nonconsecutive_reads(catalog):
+    poll = catalog.find_rest("nova", "GET", "/v2.1/servers/{id}").key
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    trace = [poll, boot, poll]
+    assert filter_noise(trace, catalog) == [poll, boot, poll]
+
+
+def test_filter_does_not_collapse_state_changes(catalog):
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    assert filter_noise([boot, boot], catalog) == [boot, boot]
+
+
+# ---------------------------------------------------------------------------
+# LCS
+# ---------------------------------------------------------------------------
+
+def test_lcs_basics():
+    assert longest_common_subsequence("abcde", "ace") == list("ace")
+    assert longest_common_subsequence("", "abc") == []
+    assert longest_common_subsequence("abc", "xyz") == []
+    assert longest_common_subsequence("abc", "abc") == list("abc")
+
+
+@given(st.text(alphabet="abcd", max_size=15), st.text(alphabet="abcd", max_size=15))
+@settings(max_examples=200)
+def test_lcs_properties(a, b):
+    result = longest_common_subsequence(a, b)
+    # Result is a subsequence of both inputs.
+    for source in (a, b):
+        position = -1
+        for ch in result:
+            position = source.find(ch, position + 1)
+            assert position >= 0
+    # Symmetric in length.
+    assert len(result) == len(longest_common_subsequence(b, a))
+    # Bounded by the shorter input.
+    assert len(result) <= min(len(a), len(b))
+
+
+@given(st.text(alphabet="abcd", max_size=20))
+def test_lcs_identity(a):
+    assert longest_common_subsequence(a, a) == list(a)
+
+
+# ---------------------------------------------------------------------------
+# prefix_lcs_lengths
+# ---------------------------------------------------------------------------
+
+def test_prefix_lcs_lengths_match_full_lcs():
+    needle, haystack = "abcab", "xaxbxcxaxbx"
+    lengths = prefix_lcs_lengths(needle, haystack)
+    assert lengths[0] == 0
+    for i in range(1, len(needle) + 1):
+        expected = len(longest_common_subsequence(needle[:i], haystack))
+        assert lengths[i] == expected
+
+
+def test_prefix_lcs_empty_cases():
+    assert prefix_lcs_lengths("", "abc") == [0]
+    assert prefix_lcs_lengths("abc", "") == [0, 0, 0, 0]
+    assert prefix_lcs_lengths("abc", "zzz") == [0, 0, 0, 0]
+
+
+@given(st.text(alphabet="abc", max_size=12), st.text(alphabet="abc", max_size=30))
+@settings(max_examples=200)
+def test_prefix_lcs_monotone_nondecreasing(needle, haystack):
+    lengths = prefix_lcs_lengths(needle, haystack)
+    assert all(b - a in (0, 1) for a, b in zip(lengths, lengths[1:]))
+    assert lengths[-1] <= min(len(needle), len(haystack))
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint generation
+# ---------------------------------------------------------------------------
+
+def test_generate_single_trace(catalog, symbols):
+    trace = keys(
+        catalog,
+        ("rest", "glance", "POST", "/v2/images"),
+        ("rest", "nova", "POST", "/v2.1/servers"),
+        ("rest", "nova", "GET", "/v2.1/servers/{id}"),
+    )
+    fingerprint = generate_fingerprint("op", [trace], symbols, catalog)
+    assert len(fingerprint) == 3
+    assert len(fingerprint.state_change_symbols) == 2
+
+
+def test_generate_prunes_transients(catalog, symbols):
+    common = keys(
+        catalog,
+        ("rest", "glance", "POST", "/v2/images"),
+        ("rest", "nova", "POST", "/v2.1/servers"),
+    )
+    transient = keys(catalog, ("rest", "nova", "GET", "/v2.1/limits"))
+    fingerprint = generate_fingerprint(
+        "op", [common, common + transient, transient[:1] + common],
+        symbols, catalog,
+    )
+    assert symbols.decode(fingerprint.symbols) == common
+
+
+def test_generate_requires_traces(catalog, symbols):
+    with pytest.raises(ValueError):
+        generate_fingerprint("op", [], symbols, catalog)
+
+
+def test_paper_regex_form(catalog, symbols):
+    trace = keys(
+        catalog,
+        ("rest", "nova", "GET", "/v2.1/servers"),
+        ("rest", "nova", "POST", "/v2.1/servers"),
+    )
+    fingerprint = generate_fingerprint("op", [trace], symbols, catalog)
+    regex = fingerprint.paper_regex()
+    get_sym = symbols.symbol(trace[0])
+    post_sym = symbols.symbol(trace[1])
+    assert regex == f"{get_sym}*{post_sym}"
+
+
+def test_rest_only_prunes_rpcs(catalog, symbols):
+    trace = keys(
+        catalog,
+        ("rest", "nova", "POST", "/v2.1/servers"),
+        ("rpc", "nova", None, "build_and_run_instance"),
+        ("rest", "nova", "GET", "/v2.1/servers/{id}"),
+    )
+    fingerprint = generate_fingerprint("op", [trace], symbols, catalog)
+    pruned = fingerprint.rest_only(symbols)
+    assert len(fingerprint) == 3
+    assert len(pruned) == 2
+
+
+def test_truncate_at_last_occurrence(catalog, symbols):
+    poll = catalog.find_rest("nova", "GET", "/v2.1/servers/{id}").key
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    delete = catalog.find_rest("nova", "DELETE", "/v2.1/servers/{id}").key
+    fingerprint = generate_fingerprint(
+        "op", [[boot, poll, delete, poll]], symbols, catalog
+    )
+    truncated = fingerprint.truncate_at(symbols.symbol(poll))
+    assert len(truncated) == 4  # last occurrence is the final element
+    truncated2 = fingerprint.truncate_at(symbols.symbol(boot))
+    assert len(truncated2) == 1
+
+
+def test_truncate_missing_symbol_is_identity(catalog, symbols):
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    fingerprint = generate_fingerprint("op", [[boot]], symbols, catalog)
+    assert fingerprint.truncate_at("￿").symbols == fingerprint.symbols
+
+
+def test_matches_relaxed_allows_gaps(catalog, symbols):
+    trace = keys(
+        catalog,
+        ("rest", "glance", "POST", "/v2/images"),
+        ("rest", "nova", "POST", "/v2.1/servers"),
+    )
+    fingerprint = generate_fingerprint("op", [trace], symbols, catalog)
+    a, b = symbols.symbol(trace[0]), symbols.symbol(trace[1])
+    assert fingerprint.matches(f"x{a}yy{b}z")
+    assert not fingerprint.matches(f"{b}...{a}")  # order violated
+
+
+def test_serialization_roundtrip(catalog, symbols):
+    trace = keys(
+        catalog,
+        ("rest", "nova", "POST", "/v2.1/servers"),
+        ("rpc", "nova", None, "select_destinations"),
+    )
+    fingerprint = generate_fingerprint(
+        "op", [trace], symbols, catalog,
+        category="compute", nodes=["ctrl"], dependencies=[("ctrl", "mysql")],
+    )
+    clone = Fingerprint.from_dict(fingerprint.to_dict())
+    assert clone.symbols == fingerprint.symbols
+    assert clone.state_change_mask == fingerprint.state_change_mask
+    assert clone.category == "compute"
+    assert clone.nodes == ("ctrl",)
+    assert clone.dependencies == (("ctrl", "mysql"),)
+
+
+# ---------------------------------------------------------------------------
+# Library
+# ---------------------------------------------------------------------------
+
+def make_library(catalog, symbols, *ops):
+    library = FingerprintLibrary(symbols)
+    for name, trace in ops:
+        library.add(generate_fingerprint(name, [trace], symbols, catalog))
+    return library
+
+
+def test_library_index(catalog, symbols):
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    upload = catalog.find_rest("glance", "PUT", "/v2/images/{id}/file").key
+    library = make_library(
+        catalog, symbols,
+        ("op-a", [boot]),
+        ("op-b", [boot, upload]),
+        ("op-c", [upload]),
+    )
+    boot_sym = symbols.symbol(boot)
+    assert {fp.operation for fp in library.ops_containing(boot_sym)} == {"op-a", "op-b"}
+    assert library.fp_max == 2
+    assert len(library) == 3
+    assert "op-a" in library
+    assert library.operations() == ["op-a", "op-b", "op-c"]
+
+
+def test_library_replacement_updates_index(catalog, symbols):
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    upload = catalog.find_rest("glance", "PUT", "/v2/images/{id}/file").key
+    library = make_library(catalog, symbols, ("op-a", [boot]))
+    library.add(generate_fingerprint("op-a", [[upload]], symbols, catalog))
+    assert library.ops_containing(symbols.symbol(boot)) == []
+    assert len(library.ops_containing(symbols.symbol(upload))) == 1
+
+
+def test_library_serialization_roundtrip(catalog, symbols):
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    library = make_library(catalog, symbols, ("op-a", [boot]))
+    clone = FingerprintLibrary.from_dict(library.to_dict(), symbols)
+    assert clone.get("op-a").symbols == library.get("op-a").symbols
+
+
+def test_average_size_per_category(catalog, symbols):
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    library = FingerprintLibrary(symbols)
+    library.add(generate_fingerprint("a", [[boot]], symbols, catalog,
+                                     category="compute"))
+    library.add(generate_fingerprint("b", [[boot, boot]], symbols, catalog,
+                                     category="compute"))
+    assert library.average_size("compute") == pytest.approx(1.5)
+    assert library.average_size("image") == 0.0

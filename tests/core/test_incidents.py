@@ -1,0 +1,173 @@
+"""Tests for incident aggregation."""
+
+import json
+
+import pytest
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+from repro.core.detector import DetectionResult
+from repro.core.fingerprint import Fingerprint
+from repro.core.incidents import IncidentAggregator
+from repro.core.reports import FaultReport, RootCauseFinding
+
+
+def make_report(ts, *, ops=(), causes=(), src="ctrl", dst="nova-ctl",
+                kind="operational"):
+    event = WireEvent(
+        seq=int(ts * 1000), api_key="k", kind=ApiKind.REST, method="GET",
+        name="/x", src_service="a", src_node=src, src_ip="1",
+        dst_service="b", dst_node=dst, dst_ip="2",
+        ts_request=ts - 0.01, ts_response=ts, status=500,
+    )
+    matched = [
+        Fingerprint(operation=op, symbols="", state_change_mask=())
+        for op in ops
+    ]
+    detection = DetectionResult(
+        fault=event, matched=matched, candidates=max(1, len(matched)),
+        theta=1.0, beta_used=1, iterations=1, window_span=(ts - 1, ts + 1),
+    )
+    return FaultReport(
+        ts=ts, kind=kind, fault_event=event, detection=detection,
+        root_causes=[RootCauseFinding(node=n, kind=k, subject=s, detail=d)
+                     for n, k, s, d in causes],
+    )
+
+
+def test_cascade_with_shared_cause_is_one_incident():
+    aggregator = IncidentAggregator(window=10.0)
+    cause = ("cinder-node", "software", "ntp", "down")
+    aggregator.add(make_report(1.0, causes=[cause]))
+    aggregator.add(make_report(1.5, causes=[cause], src="x", dst="y"))
+    assert len(aggregator.incidents) == 1
+    assert len(aggregator.incidents[0].reports) == 2
+
+
+def test_shared_operations_group():
+    aggregator = IncidentAggregator()
+    aggregator.add(make_report(1.0, ops=["op-a", "op-b"], src="n1", dst="n2"))
+    aggregator.add(make_report(2.0, ops=["op-b"], src="n3", dst="n4"))
+    assert len(aggregator.incidents) == 1
+
+
+def test_shared_node_pair_groups():
+    aggregator = IncidentAggregator()
+    aggregator.add(make_report(1.0, src="glance-node", dst="ctrl"))
+    aggregator.add(make_report(2.0, src="glance-node", dst="ctrl"))
+    assert len(aggregator.incidents) == 1
+
+
+def test_unrelated_reports_split():
+    aggregator = IncidentAggregator()
+    aggregator.add(make_report(1.0, ops=["op-a"], src="n1", dst="n2",
+                               causes=[("n1", "software", "x", "d")]))
+    aggregator.add(make_report(2.0, ops=["op-z"], src="n8", dst="n9",
+                               causes=[("n9", "resource", "cpu", "d")]))
+    assert len(aggregator.incidents) == 2
+
+
+def test_time_window_splits_even_related():
+    aggregator = IncidentAggregator(window=5.0)
+    cause = ("ctrl", "software", "mysql", "down")
+    aggregator.add(make_report(1.0, causes=[cause]))
+    aggregator.add(make_report(60.0, causes=[cause]))
+    assert len(aggregator.incidents) == 2
+
+
+def test_operations_ranked_by_frequency():
+    aggregator = IncidentAggregator()
+    aggregator.add(make_report(1.0, ops=["op-a", "op-b"]))
+    aggregator.add(make_report(1.5, ops=["op-b"]))
+    incident = aggregator.incidents[0]
+    assert incident.operations[0] == "op-b"
+
+
+def test_root_causes_deduplicated():
+    aggregator = IncidentAggregator()
+    cause = ("ctrl", "software", "mysql", "down")
+    aggregator.add(make_report(1.0, causes=[cause]))
+    aggregator.add(make_report(1.2, causes=[cause]))
+    assert len(aggregator.incidents[0].root_causes) == 1
+
+
+def test_summary_and_export(tmp_path):
+    aggregator = IncidentAggregator()
+    aggregator.add(make_report(
+        1.0, ops=["op-a"], causes=[("ctrl", "software", "mysql", "down")],
+    ))
+    incident = aggregator.incidents[0]
+    assert "incident #1" in incident.summary()
+    assert "mysql" in incident.summary()
+
+    path = tmp_path / "incidents.json"
+    payload = aggregator.export_json(str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(payload)
+    assert loaded["incidents"][0]["operations"] == ["op-a"]
+    assert loaded["incidents"][0]["faults"][0]["status"] == 500
+
+
+def test_add_all_sorts_by_time():
+    aggregator = IncidentAggregator()
+    cause = ("ctrl", "software", "mysql", "down")
+    reports = [make_report(5.0, causes=[cause]),
+               make_report(1.0, causes=[cause])]
+    aggregator.add_all(reports)
+    assert len(aggregator.incidents) == 1
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        IncidentAggregator(window=0.0)
+
+
+def test_end_to_end_cascade_grouping(full_character, suite):
+    """The §7.2.4 NTP cascade (401 + 503) folds into one incident."""
+    from repro.evaluation.common import make_monitored_analyzer
+    from repro.workloads.runner import WorkloadRunner
+
+    cloud, plane, analyzer = make_monitored_analyzer(full_character, seed=61)
+    cloud.faults.crash_process("cinder-node", "ntp")
+    test = next(t for t in suite.tests if t.name.startswith("storage.queries"))
+    WorkloadRunner(cloud).run_isolated(test, settle=2.0)
+    analyzer.flush()
+    assert len(analyzer.operational_reports) >= 2  # the 401 + the 503
+
+    aggregator = IncidentAggregator()
+    aggregator.add_all(analyzer.reports)
+    assert len(aggregator.incidents) == 1
+    incident = aggregator.incidents[0]
+    assert any(c.subject == "ntp" for c in incident.root_causes)
+
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.sampled_from(["op-a", "op-b", "op-c", ""]),
+            st.sampled_from(["n1", "n2", "n3"]),
+            st.sampled_from(["n1", "n4", "n5"]),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_aggregation_invariants(data):
+    """Every report lands in exactly one incident; time bounds hold."""
+    aggregator = IncidentAggregator(window=5.0)
+    reports = [
+        make_report(ts, ops=[op] if op else [], src=src, dst=dst)
+        for ts, op, src, dst in data
+    ]
+    aggregator.add_all(reports)
+    placed = sum(len(i.reports) for i in aggregator.incidents)
+    assert placed == len(reports)
+    for incident in aggregator.incidents:
+        assert incident.first_ts <= incident.last_ts
+        # Adjacent reports inside an incident respect the window.
+        times = sorted(r.ts for r in incident.reports)
+        assert all(b - a <= 5.0 + 1e-9 for a, b in zip(times, times[1:]))

@@ -1,0 +1,57 @@
+"""Tests for per-API latency tracking."""
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+from repro.core.config import GretelConfig
+from repro.core.latency import LatencyTracker
+
+
+def make_event(seq, api_key, latency, ts=None):
+    ts = ts if ts is not None else seq * 0.1
+    return WireEvent(
+        seq=seq, api_key=api_key, kind=ApiKind.REST, method="GET",
+        name="/x", src_service="a", src_node="n1", src_ip="1",
+        dst_service="b", dst_node="n2", dst_ip="2",
+        ts_request=ts - latency, ts_response=ts, status=200,
+    )
+
+
+def test_separate_series_per_api():
+    tracker = LatencyTracker()
+    tracker.observe(make_event(1, "api-a", 0.01))
+    tracker.observe(make_event(2, "api-b", 0.01))
+    assert tracker.series_count() == 2
+
+
+def test_anomaly_on_level_shift():
+    config = GretelConfig(ls_warmup=12, ls_confirm=3, ls_min_delta=0.004)
+    tracker = LatencyTracker(config)
+    seen = []
+    tracker.on_anomaly(seen.append)
+    for seq in range(60):
+        tracker.observe(make_event(seq, "api-a", 0.010 + (seq % 3) * 0.0005))
+    for seq in range(60, 80):
+        tracker.observe(make_event(seq, "api-a", 0.080))
+    assert len(seen) == 1
+    anomaly = seen[0]
+    assert anomaly.api_key == "api-a"
+    assert anomaly.magnitude > 0.05
+    assert tracker.anomalies == seen
+
+
+def test_no_anomaly_on_steady_series():
+    tracker = LatencyTracker()
+    for seq in range(200):
+        tracker.observe(make_event(seq, "api-a", 0.010 + (seq % 5) * 0.0004))
+    assert tracker.anomalies == []
+
+
+def test_anomaly_carries_triggering_event():
+    tracker = LatencyTracker()
+    for seq in range(40):
+        tracker.observe(make_event(seq, "a", 0.01))
+    result = None
+    for seq in range(40, 60):
+        result = result or tracker.observe(make_event(seq, "a", 0.2))
+    assert result is not None
+    assert result.event.api_key == "a"

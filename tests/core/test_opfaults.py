@@ -1,0 +1,72 @@
+"""Tests for operational fault detection (regex scans)."""
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+from repro.core.opfaults import (
+    is_operational_fault,
+    is_rest_fault,
+    rest_error_status,
+    rpc_body_error,
+)
+
+
+def make_event(kind=ApiKind.REST, status=200, body=""):
+    return WireEvent(
+        seq=1, api_key="k", kind=kind, method="GET" if kind is ApiKind.REST else "call",
+        name="/x", src_service="a", src_node="n1", src_ip="1",
+        dst_service="b", dst_node="n2", dst_ip="2",
+        ts_request=0.0, ts_response=0.01, status=status, body=body,
+    )
+
+
+def test_rest_status_codes():
+    assert rest_error_status(make_event(status=200)) is None
+    assert rest_error_status(make_event(status=404)) == 404
+    assert rest_error_status(make_event(status=500)) == 500
+    assert rest_error_status(make_event(kind=ApiKind.RPC, status=500)) is None
+
+
+def test_rpc_failure_envelope_detected():
+    event = make_event(kind=ApiKind.RPC, status=200,
+                       body='{"oslo.message": {"failure": "RemoteError"}}')
+    assert rpc_body_error(event)
+    assert is_operational_fault(event)
+
+
+def test_rpc_timeout_detected():
+    event = make_event(kind=ApiKind.RPC, status=200,
+                       body="MessagingTimeout: no reply on topic nova")
+    assert rpc_body_error(event)
+
+
+def test_rpc_no_valid_host_detected():
+    event = make_event(kind=ApiKind.RPC, status=200,
+                       body='{"failure": "NoValidHost", "message": "..."}')
+    assert rpc_body_error(event)
+
+
+def test_rpc_healthy_body_clean():
+    event = make_event(kind=ApiKind.RPC, status=200,
+                       body='{"result": {"host": "compute-1"}}')
+    assert not rpc_body_error(event)
+    assert not is_operational_fault(event)
+
+
+def test_rpc_empty_body_clean():
+    assert not rpc_body_error(make_event(kind=ApiKind.RPC, status=200))
+
+
+def test_rpc_error_status_detected_without_body():
+    assert rpc_body_error(make_event(kind=ApiKind.RPC, status=500))
+
+
+def test_rest_fault_gate_is_rest_only():
+    assert is_rest_fault(make_event(status=500))
+    assert not is_rest_fault(make_event(status=200))
+    assert not is_rest_fault(make_event(kind=ApiKind.RPC, status=500))
+
+
+def test_generic_error_message_pattern():
+    event = make_event(kind=ApiKind.RPC, status=200,
+                       body='{"message": "volume backend unavailable"}')
+    assert rpc_body_error(event)

@@ -1,0 +1,44 @@
+"""Tests for the θ precision metric."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.precision import theta
+
+
+def test_perfect_precision():
+    assert theta(1200, 1) == 1.0
+
+
+def test_worst_precision():
+    assert theta(1200, 1200) == 0.0
+
+
+def test_paper_example_range():
+    # n up to ~24 of 1200 still satisfies the >98% claim.
+    assert theta(1200, 24) > 0.98
+    assert theta(1200, 25) < 0.981
+
+
+def test_zero_matches_scores_like_one():
+    assert theta(1200, 0) == 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        theta(1, 1)
+    with pytest.raises(ValueError):
+        theta(10, -1)
+
+
+@given(st.integers(min_value=2, max_value=10_000), st.integers(min_value=0, max_value=10_000))
+def test_theta_bounds(total, matched):
+    matched = min(matched, total)
+    value = theta(total, matched)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.integers(min_value=3, max_value=1000), st.integers(min_value=1, max_value=998))
+def test_theta_monotone_in_matches(total, matched):
+    matched = min(matched, total - 1)
+    assert theta(total, matched) >= theta(total, matched + 1)

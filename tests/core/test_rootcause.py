@@ -1,0 +1,149 @@
+"""Tests for root cause analysis (Algorithm 3)."""
+
+import pytest
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.resources import ResourceSample
+from repro.openstack.wire import WireEvent
+from repro.core.config import GretelConfig
+from repro.core.detector import DetectionResult
+from repro.core.fingerprint import Fingerprint
+from repro.core.rootcause import RootCauseEngine
+from repro.monitoring.store import MetadataStore, WatcherReport
+
+
+def make_sample(node, ts, cpu=0.05, disk_free=600.0, mem_used=20_000.0):
+    return ResourceSample(
+        node=node, ts=ts, cpu_util=cpu,
+        mem_used_mb=mem_used, mem_total_mb=131_072.0,
+        disk_free_gb=disk_free, disk_total_gb=900.0,
+        net_mbps=1.0, disk_io_ops=5.0,
+    )
+
+
+def make_detection(src_node="ctrl", dst_node="nova-ctl", nodes=()):
+    fault = WireEvent(
+        seq=1, api_key="rest:nova:GET:/v2.1/servers/{id}", kind=ApiKind.REST,
+        method="GET", name="/v2.1/servers/{id}",
+        src_service="horizon", src_node=src_node, src_ip="1",
+        dst_service="nova", dst_node=dst_node, dst_ip="2",
+        ts_request=99.0, ts_response=100.0, status=500,
+    )
+    fingerprint = Fingerprint(
+        operation="op", symbols="", state_change_mask=(),
+        nodes=tuple(nodes),
+    )
+    return DetectionResult(
+        fault=fault, matched=[fingerprint], candidates=1, theta=1.0,
+        beta_used=10, iterations=1, window_span=(95.0, 105.0),
+    )
+
+
+def seed_healthy(store, nodes, until=110.0):
+    for node in nodes:
+        for ts in range(0, int(until)):
+            store.add_sample(make_sample(node, float(ts)))
+        store.add_watcher_report(WatcherReport(node, until, "ntp", True))
+
+
+def test_healthy_nodes_yield_no_findings():
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl", "nova-ctl"])
+    engine = RootCauseEngine(store)
+    assert engine.analyze(make_detection()) == []
+
+
+def test_cpu_anomaly_on_error_node():
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl"])
+    for ts in range(0, 95):
+        store.add_sample(make_sample("nova-ctl", float(ts)))
+    for ts in range(95, 108):
+        store.add_sample(make_sample("nova-ctl", float(ts), cpu=0.85))
+    engine = RootCauseEngine(store)
+    findings = engine.analyze(make_detection())
+    assert any(f.kind == "resource" and f.subject == "cpu"
+               and f.node == "nova-ctl" for f in findings)
+
+
+def test_low_disk_detected():
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl"])
+    for ts in range(0, 110):
+        store.add_sample(make_sample("nova-ctl", float(ts), disk_free=5.0))
+    engine = RootCauseEngine(store)
+    findings = engine.analyze(make_detection())
+    assert any(f.subject == "disk" and f.node == "nova-ctl" for f in findings)
+
+
+def test_memory_pressure_detected():
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl"])
+    for ts in range(0, 110):
+        store.add_sample(make_sample("nova-ctl", float(ts), mem_used=128_000.0))
+    engine = RootCauseEngine(store)
+    findings = engine.analyze(make_detection())
+    assert any(f.subject == "memory" for f in findings)
+
+
+def test_dead_process_detected():
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl", "nova-ctl"])
+    store.add_watcher_report(WatcherReport("nova-ctl", 90.0, "nova-api", False))
+    engine = RootCauseEngine(store)
+    findings = engine.analyze(make_detection())
+    assert any(f.kind == "software" and f.subject == "nova-api" for f in findings)
+
+
+def test_upstream_expansion_when_error_nodes_clean():
+    """Algorithm 3: only when the error's src/dst nodes are clean does
+    the search expand to the operation's remaining nodes."""
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl", "nova-ctl", "compute-1"])
+    store.add_watcher_report(
+        WatcherReport("compute-1", 90.0, "neutron-plugin-linuxbridge-agent", False)
+    )
+    engine = RootCauseEngine(store)
+    detection = make_detection(nodes=["ctrl", "nova-ctl", "compute-1"])
+    findings = engine.analyze(detection)
+    assert any(f.node == "compute-1" for f in findings)
+
+
+def test_error_node_findings_stop_expansion():
+    """If the error nodes already explain the fault, upstream nodes are
+    not searched."""
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl", "nova-ctl", "compute-1"])
+    store.add_watcher_report(WatcherReport("nova-ctl", 90.0, "nova-api", False))
+    store.add_watcher_report(
+        WatcherReport("compute-1", 90.0, "libvirtd", False)
+    )
+    engine = RootCauseEngine(store)
+    detection = make_detection(nodes=["compute-1"])
+    findings = engine.analyze(detection)
+    assert all(f.node == "nova-ctl" for f in findings)
+
+
+def test_process_recovery_clears_finding():
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl", "nova-ctl"])
+    store.add_watcher_report(WatcherReport("nova-ctl", 80.0, "nova-api", False))
+    store.add_watcher_report(WatcherReport("nova-ctl", 95.0, "nova-api", True))
+    engine = RootCauseEngine(store)
+    assert engine.analyze(make_detection()) == []
+
+
+def test_no_metadata_no_findings():
+    engine = RootCauseEngine(MetadataStore())
+    assert engine.analyze(make_detection()) == []
+
+
+def test_finding_str_rendering():
+    store = MetadataStore()
+    seed_healthy(store, ["ctrl"])
+    store.add_watcher_report(WatcherReport("nova-ctl", 90.0, "mysql", False))
+    engine = RootCauseEngine(store)
+    findings = engine.analyze(make_detection())
+    assert findings
+    text = str(findings[0])
+    assert "mysql" in text and "nova-ctl" in text

@@ -1,0 +1,138 @@
+"""Tests for the dual-buffer sliding window and snapshots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+from repro.core.window import SlidingWindow, Snapshot
+
+
+def make_event(seq, status=200):
+    return WireEvent(
+        seq=seq, api_key="rest:nova:GET:/v2.1/servers", kind=ApiKind.REST,
+        method="GET", name="/v2.1/servers",
+        src_service="horizon", src_node="ctrl", src_ip="1",
+        dst_service="nova", dst_node="nova-ctl", dst_ip="2",
+        ts_request=seq * 1.0, ts_response=seq * 1.0 + 0.01, status=status,
+    )
+
+
+def test_window_capacity_bounded():
+    window = SlidingWindow(alpha=10)
+    for seq in range(100):
+        window.append(make_event(seq))
+    assert len(window) == 10
+
+
+def test_alpha_validation():
+    with pytest.raises(ValueError):
+        SlidingWindow(alpha=1)
+
+
+def test_snapshot_freezes_after_half_alpha():
+    window = SlidingWindow(alpha=10)
+    for seq in range(7):
+        window.append(make_event(seq))
+    fault = make_event(7, status=500)
+    window.append(fault)
+    window.mark_fault(fault)
+    completed = []
+    for seq in range(8, 20):
+        completed.extend(window.append(make_event(seq)))
+        if completed:
+            break
+    assert len(completed) == 1
+    snapshot = completed[0]
+    # Snapshot completed after alpha/2 = 5 post-fault events.
+    assert snapshot.events[-1].seq == 12
+    assert snapshot.fault.seq == 7
+    assert snapshot.events[snapshot.fault_index].seq == 7
+
+
+def test_snapshot_has_past_and_future():
+    window = SlidingWindow(alpha=8)
+    for seq in range(6):
+        window.append(make_event(seq))
+    fault = make_event(6, status=500)
+    window.append(fault)
+    window.mark_fault(fault)
+    completed = []
+    seq = 7
+    while not completed:
+        completed = window.append(make_event(seq))
+        seq += 1
+    snapshot = completed[0]
+    seqs = [e.seq for e in snapshot.events]
+    assert min(seqs) < 6 < max(seqs)
+
+
+def test_multiple_overlapping_faults():
+    window = SlidingWindow(alpha=10)
+    fault_a = make_event(0, status=500)
+    window.append(fault_a)
+    window.mark_fault(fault_a)
+    fault_b = make_event(1, status=500)
+    window.append(fault_b)
+    window.mark_fault(fault_b)
+    completed = []
+    for seq in range(2, 20):
+        completed.extend(window.append(make_event(seq)))
+    assert len(completed) == 2
+    assert {s.fault.seq for s in completed} == {0, 1}
+
+
+def test_flush_freezes_pending():
+    window = SlidingWindow(alpha=10)
+    fault = make_event(0, status=500)
+    window.append(fault)
+    window.mark_fault(fault)
+    assert window.pending_snapshots == 1
+    snapshots = window.flush()
+    assert len(snapshots) == 1
+    assert window.pending_snapshots == 0
+
+
+def test_on_snapshot_callback():
+    seen = []
+    window = SlidingWindow(alpha=6, on_snapshot=seen.append)
+    fault = make_event(0, status=500)
+    window.append(fault)
+    window.mark_fault(fault)
+    for seq in range(1, 10):
+        window.append(make_event(seq))
+    assert len(seen) == 1
+    assert isinstance(seen[0], Snapshot)
+
+
+def test_fault_scrolled_out_still_anchored():
+    window = SlidingWindow(alpha=4)
+    fault = make_event(0, status=500)
+    window.append(fault)
+    window.mark_fault(fault)
+    # Push so many events that the fault leaves the deque before the
+    # freeze ever happens (freeze occurs at alpha/2 = 2, so force it by
+    # flushing after overflow instead).
+    for seq in range(1, 10):
+        window.append(make_event(seq))
+    snapshots = window.flush()
+    assert snapshots == []  # completed earlier through append
+    assert window.snapshots_taken == 1
+
+
+def test_snapshot_window_radius():
+    events = [make_event(seq) for seq in range(11)]
+    snapshot = Snapshot(fault=events[5], events=events, fault_index=5)
+    assert [e.seq for e in snapshot.window(2)] == [3, 4, 5, 6, 7]
+    assert snapshot.window(100) == events
+    assert not snapshot.covers_all(2)
+    assert snapshot.covers_all(5)
+
+
+@given(st.integers(min_value=2, max_value=64), st.integers(min_value=0, max_value=200))
+@settings(max_examples=50, deadline=None)
+def test_window_never_exceeds_alpha(alpha, n_events):
+    window = SlidingWindow(alpha=alpha)
+    for seq in range(n_events):
+        window.append(make_event(seq))
+        assert len(window) <= alpha

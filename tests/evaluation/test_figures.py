@@ -1,0 +1,141 @@
+"""Unit tests for figure-module internals (fast, synthetic inputs)."""
+
+import pytest
+
+from repro.evaluation import fig5, fig8c, table1
+from repro.evaluation.fig8a import Fig8aPoint
+from repro.evaluation.fig8a import format_report as fig8a_format
+from repro.evaluation.fig8c import ThroughputPoint
+
+
+def test_table1_format_includes_paper_reference():
+    rows = [{
+        "category": "compute", "tests": 10, "unique_rpc": 3,
+        "unique_rest": 7, "rpc_events": 100, "rest_events": 200,
+        "avg_fp_with_rpc": 12.0, "avg_fp_without_rpc": 9.0,
+    }]
+    text = table1.format_report(rows)
+    assert "10|517" in text  # measured | paper
+
+
+def test_fig5_overlap_helper():
+    assert fig5._overlap(frozenset("abc"), frozenset("ab")) == pytest.approx(2 / 3)
+    assert fig5._overlap(frozenset(), frozenset("ab")) == 0.0
+
+
+def test_fig5_low_overlap_fraction():
+    series = {"all": [0.05, 0.10, 0.20, 0.30]}
+    assert fig5.low_overlap_fraction(series, threshold=0.15) == 0.5
+    assert fig5.low_overlap_fraction({"all": []}) == 0.0
+
+
+def test_fig8a_format():
+    text = fig8a_format([
+        Fig8aPoint(concurrency=100, matched_mean=6.0, theta=0.99, reports=16),
+        Fig8aPoint(concurrency=400, matched_mean=3.0, theta=0.995, reports=16),
+    ])
+    assert "100" in text and "400" in text
+
+
+def test_fig8c_format_shape_line():
+    def point(fault_every, eff):
+        return ThroughputPoint(
+            fault_every=fault_every, events=1000,
+            gretel_ingest_eps=50_000, gretel_ingest_mbps=80.0,
+            gretel_effective_eps=eff, gretel_effective_mbps=eff / 600,
+            hansel_eps=1500, hansel_mbps=2.5, snapshots=10,
+        )
+
+    text = fig8c.format_report([point(100, 5_000), point(2000, 45_000)])
+    assert "9.0x" in text  # 45k / 5k
+    assert "HANSEL" in text
+
+
+def test_fig6_format_with_synthetic_series():
+    from repro.evaluation.fig6 import Fig6Result, format_report
+
+    series = [(float(t), 0.01 if t < 50 else 0.03) for t in range(100)]
+    result = Fig6Result(
+        series=series,
+        alarms=[(52.0, 0.03, 0.01)],
+        surge_window=(40.0, 80.0),
+        reports=[],
+        cpu_root_cause_found=True,
+        operations_completed=500,
+    )
+    text = format_report(result)
+    assert "CPU surge window" in text
+    assert "level-shift alarms: 1 (1 inside the surge window)" in text
+    assert "True" in text
+
+
+def test_fig6_format_empty_series():
+    from repro.evaluation.fig6 import Fig6Result, format_report
+
+    result = Fig6Result(series=[], alarms=[], surge_window=(0, 1))
+    assert "no samples" in format_report(result)
+
+
+def test_fig8b_format_with_synthetic_series():
+    from repro.evaluation.fig8b import Fig8bResult, format_report
+
+    series = [(float(t), 0.005 if not 20 <= t < 60 else 0.055)
+              for t in range(80)]
+    result = Fig8bResult(
+        series=series,
+        alarms=[(21.0, 0.055, 0.005), (70.0, 0.05, 0.004)],
+        injection_window=(20.0, 60.0),
+        injected_delay=0.050,
+        reports=[],
+        operations_completed=100,
+    )
+    assert result.alarms_in_window == 1
+    assert result.alarms_outside_window == 1
+    text = format_report(result)
+    assert "injected delay: 50 ms" in text
+    assert "LS alarms: 2 total" in text
+
+
+def test_fig7_format_helpers():
+    from repro.evaluation.fig7 import PrecisionCell, format_fig7a, format_fig7b
+
+    cells = [PrecisionCell(
+        concurrency=100, faults=8, theta=0.985, matched_mean=18.0,
+        candidates_mean=250.0, true_hit_rate=0.5, reports=16,
+        max_report_delay=1.2,
+    )]
+    a = format_fig7a(cells)
+    assert "0.9850" in a
+    b = format_fig7b(cells)
+    assert "250.0" in b and "18.0" in b
+
+
+def test_hansel_comparison_format():
+    from repro.evaluation.hansel_comparison import ComparisonResult, format_report
+
+    result = ComparisonResult(
+        faults_injected=4, gretel_reports=5, gretel_named_operation=5,
+        gretel_root_causes=1, gretel_mean_ops_matched=12.0,
+        gretel_max_report_delay=1.4, hansel_reports=5,
+        hansel_mean_chain_length=300.0, hansel_min_reporting_latency=30.0,
+        events_on_wire=4000,
+    )
+    text = format_report(result)
+    assert "GRETEL" in text and "HANSEL" in text
+    assert "never" in text
+    assert "300.0 msgs" in text
+
+
+def test_overhead_format():
+    from repro.evaluation.overhead import OverheadResult, format_report
+
+    result = OverheadResult(
+        events_processed=4000, total_wall_seconds=2.0,
+        analyzer_wall_seconds=0.2, simulated_seconds=4.0,
+        peak_memory_mb=3.5, reports=2,
+    )
+    assert result.cpu_share == 0.05
+    assert result.per_event_cost == 0.2 / 4000
+    assert result.projected_share(360.0) == (0.2 / 4000) * 4000 / 360.0
+    text = format_report(result)
+    assert "4000" in text

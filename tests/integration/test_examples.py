@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs green end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, timeout=600):
+    # The session fixture has already warmed the characterization cache.
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart(full_character):
+    out = run_example("quickstart.py")
+    assert "Root cause (dead L2 agent) localized: True" in out
+
+
+def test_dependency_failures(full_character):
+    out = run_example("dependency_failures.py")
+    assert "[PASS] failed_image_upload" in out
+    assert "[PASS] ntp_failure" in out
+
+
+def test_incident_export(full_character):
+    out = run_example("incident_export.py")
+    assert "Exported 2 incident(s)" in out
+
+
+def test_parallel_fault_localization(full_character):
+    out = run_example("parallel_fault_localization.py")
+    assert "--- GRETEL ---" in out
+    assert "ground-truth operation in set" in out
+
+
+@pytest.mark.slow
+def test_performance_bottleneck(full_character):
+    out = run_example("performance_bottleneck.py")
+    assert "Level-shift alarms" in out
+
+
+@pytest.mark.slow
+def test_throughput_stress(full_character):
+    out = run_example("throughput_stress.py")
+    assert "HANSEL" in out

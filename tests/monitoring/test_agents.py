@@ -1,0 +1,121 @@
+"""Tests for the monitoring plane: network/resource agents, watchers."""
+
+import pytest
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.config import CloudConfig
+from repro.monitoring.network import NetworkAgent
+from repro.monitoring.plane import MonitoringPlane
+from repro.monitoring.resources import ResourceAgent
+from repro.monitoring.watchers import DependencyWatcher
+
+
+@pytest.fixture()
+def quiet():
+    return Cloud(seed=4, config=CloudConfig(heartbeats_enabled=False))
+
+
+def run_op(cloud, generator):
+    result = []
+
+    def proc():
+        value = yield from generator
+        result.append(value)
+
+    process = cloud.sim.spawn(proc())
+    cloud.run_until([process])
+    return result[0]
+
+
+def test_network_agent_captures_node_traffic(quiet):
+    agent = NetworkAgent(quiet, "ctrl")
+    received = []
+    agent.subscribe(received.append)
+    ctx = quiet.client_context()
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    quiet.settle(0.1)
+    assert agent.captured >= 1
+    assert received
+    assert all(e.src_node == "ctrl" for e in received)
+
+
+def test_network_agent_forward_delay_preserves_order(quiet):
+    agent = NetworkAgent(quiet, "ctrl", forward_delay=0.001)
+    received = []
+    agent.subscribe(received.append)
+    ctx = quiet.client_context()
+    for _ in range(5):
+        run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    quiet.settle(0.1)
+    seqs = [e.seq for e in received]
+    assert seqs == sorted(seqs)
+
+
+def test_resource_agent_polls_periodically(quiet):
+    agent = ResourceAgent(quiet, "ctrl", interval=1.0)
+    samples = []
+    agent.subscribe(samples.append)
+    agent.start()
+    quiet.sim.run(until=10.0)
+    agent.stop()
+    assert 8 <= len(samples) <= 11
+    assert all(s.node == "ctrl" for s in samples)
+    timestamps = [s.ts for s in samples]
+    assert timestamps == sorted(timestamps)
+
+
+def test_resource_agent_start_is_idempotent(quiet):
+    agent = ResourceAgent(quiet, "ctrl", interval=1.0)
+    samples = []
+    agent.subscribe(samples.append)
+    agent.start()
+    agent.start()
+    quiet.sim.run(until=5.0)
+    agent.stop()
+    assert len(samples) <= 6  # one poller, not two
+
+
+def test_watcher_reports_all_processes(quiet):
+    watcher = DependencyWatcher(quiet, "compute-1")
+    reports = watcher.poll_once()
+    names = {r.process for r in reports}
+    assert names == {"ntp", "nova-compute",
+                     "neutron-plugin-linuxbridge-agent", "libvirtd"}
+    assert all(r.alive for r in reports)
+
+
+def test_watcher_sees_crash(quiet):
+    watcher = DependencyWatcher(quiet, "compute-1")
+    quiet.faults.crash_process("compute-1", "libvirtd")
+    reports = {r.process: r.alive for r in watcher.poll_once()}
+    assert reports["libvirtd"] is False
+    assert reports["ntp"] is True
+
+
+def test_plane_wires_everything(quiet):
+    plane = MonitoringPlane(quiet)
+    assert set(plane.network_agents) == set(quiet.topology.node_names())
+    plane.start()
+    quiet.sim.run(until=3.0)
+    plane.stop()
+    for node in quiet.topology.node_names():
+        assert plane.store.latest_sample(node) is not None
+        assert plane.store.processes_on(node)
+
+
+def test_plane_event_subscription(quiet):
+    plane = MonitoringPlane(quiet)
+    received = []
+    plane.subscribe_events(received.append)
+    ctx = quiet.client_context()
+    run_op(quiet, ctx.rest("nova", "GET", "/v2.1/limits"))
+    quiet.settle(0.1)
+    assert plane.events_captured >= 2  # auth leg + call
+    assert len(received) == plane.events_captured
+
+
+def test_plane_poll_all_once(quiet):
+    plane = MonitoringPlane(quiet)
+    plane.poll_all_once()
+    for node in quiet.topology.node_names():
+        assert plane.store.latest_sample(node) is not None

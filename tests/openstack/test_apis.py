@@ -1,0 +1,57 @@
+"""Tests for API identities."""
+
+import pytest
+
+from repro.openstack.apis import Api, ApiKind
+
+
+def test_rest_state_change_methods():
+    for method in ("POST", "PUT", "DELETE", "PATCH"):
+        api = Api(ApiKind.REST, "nova", method, "/v2.1/servers")
+        assert api.state_change
+        assert not api.idempotent_read
+
+
+def test_rest_read_methods():
+    for method in ("GET", "HEAD"):
+        api = Api(ApiKind.REST, "nova", method, "/v2.1/servers")
+        assert not api.state_change
+        assert api.idempotent_read
+
+
+def test_rpc_is_always_state_change():
+    for method in ("call", "cast"):
+        api = Api(ApiKind.RPC, "nova", method, "build_and_run_instance")
+        assert api.state_change
+        assert not api.idempotent_read
+
+
+def test_invalid_rest_method_rejected():
+    with pytest.raises(ValueError):
+        Api(ApiKind.REST, "nova", "FETCH", "/v2.1/servers")
+
+
+def test_invalid_rpc_method_rejected():
+    with pytest.raises(ValueError):
+        Api(ApiKind.RPC, "nova", "GET", "thing")
+
+
+def test_key_is_unique_per_identity():
+    a = Api(ApiKind.REST, "nova", "GET", "/v2.1/servers")
+    b = Api(ApiKind.REST, "nova", "POST", "/v2.1/servers")
+    c = Api(ApiKind.REST, "neutron", "GET", "/v2.1/servers")
+    assert len({a.key, b.key, c.key}) == 3
+
+
+def test_noise_flag_does_not_affect_identity():
+    a = Api(ApiKind.RPC, "nova", "cast", "report_state", noise=True)
+    b = Api(ApiKind.RPC, "nova", "cast", "report_state", noise=False)
+    assert a == b
+    assert a.key == b.key
+
+
+def test_str_rendering():
+    rest = Api(ApiKind.REST, "nova", "GET", "/v2.1/servers")
+    rpc = Api(ApiKind.RPC, "neutron", "call", "sync_routers")
+    assert "GET" in str(rest) and "nova" in str(rest)
+    assert "rpc" in str(rpc) and "sync_routers" in str(rpc)

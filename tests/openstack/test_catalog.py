@@ -1,0 +1,110 @@
+"""Tests for the API catalog."""
+
+import pytest
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.catalog import (
+    PUBLIC_REST_API_COUNT,
+    ApiCatalog,
+    build_catalog,
+    default_catalog,
+)
+
+
+def test_public_rest_count_matches_paper():
+    catalog = build_catalog()
+    assert len(catalog.rest_apis) == PUBLIC_REST_API_COUNT == 643
+
+
+def test_rpc_apis_present():
+    catalog = build_catalog()
+    assert len(catalog.rpc_apis) > 90
+
+
+def test_build_is_deterministic():
+    a = build_catalog()
+    b = build_catalog()
+    assert [api.key for api in a.apis] == [api.key for api in b.apis]
+
+
+def test_no_duplicate_keys():
+    catalog = build_catalog()
+    keys = [api.key for api in catalog.apis]
+    assert len(keys) == len(set(keys))
+
+
+def test_default_catalog_is_shared():
+    assert default_catalog() is default_catalog()
+
+
+def test_core_workflow_apis_exist():
+    catalog = build_catalog()
+    for service, method, name in (
+        ("nova", "POST", "/v2.1/servers"),
+        ("nova", "GET", "/v2.1/servers/{id}"),
+        ("neutron", "POST", "/v2.0/ports.json"),
+        ("glance", "GET", "/v2/images/{id}"),
+        ("glance", "PUT", "/v2/images/{id}/file"),
+        ("keystone", "POST", "/v3/auth/tokens"),
+        ("cinder", "POST", "/v2/{tenant}/volumes"),
+        ("swift", "PUT", "/v1/{account}/{container}/{object}"),
+        ("nova", "POST", "/v2.1/os-server-external-events"),
+    ):
+        api = catalog.find_rest(service, method, name)
+        assert api.service == service
+
+
+def test_core_rpcs_exist():
+    catalog = build_catalog()
+    for service, name in (
+        ("nova", "build_and_run_instance"),
+        ("nova", "select_destinations"),
+        ("neutron", "get_devices_details_list"),
+        ("neutron", "security_group_info_for_devices"),
+        ("neutron", "update_device_up"),
+        ("cinder", "create_volume"),
+    ):
+        api = catalog.find_rpc(service, name)
+        assert api.kind is ApiKind.RPC
+
+
+def test_heartbeats_flagged_as_noise():
+    catalog = build_catalog()
+    assert catalog.find_rpc("nova", "report_state").noise
+    assert catalog.find_rpc("neutron", "report_state").noise
+
+
+def test_keystone_auth_flagged_as_noise():
+    catalog = build_catalog()
+    assert catalog.find_rest("keystone", "POST", "/v3/auth/tokens").noise
+    assert catalog.find_rest("keystone", "GET", "/v3/auth/tokens").noise
+
+
+def test_missing_lookup_raises():
+    catalog = build_catalog()
+    with pytest.raises(KeyError):
+        catalog.find_rest("nova", "GET", "/no/such/path")
+    with pytest.raises(KeyError):
+        catalog.find_rpc("nova", "no_such_method")
+    with pytest.raises(KeyError):
+        catalog.get("bogus-key")
+
+
+def test_add_duplicate_rejected():
+    catalog = build_catalog()
+    with pytest.raises(ValueError):
+        catalog.add(catalog.apis[0])
+
+
+def test_of_service_partition():
+    catalog = build_catalog()
+    services = {"nova", "neutron", "glance", "cinder", "keystone", "swift"}
+    total = sum(len(catalog.of_service(s)) for s in services)
+    assert total == len(catalog)
+
+
+def test_every_service_has_rest_apis():
+    catalog = build_catalog()
+    for service in ("nova", "neutron", "glance", "cinder", "keystone", "swift"):
+        rest = [a for a in catalog.of_service(service) if a.kind is ApiKind.REST]
+        assert len(rest) >= 14, service

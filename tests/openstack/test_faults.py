@@ -1,0 +1,93 @@
+"""Tests for the fault-injection framework."""
+
+import pytest
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.config import CloudConfig
+
+
+@pytest.fixture()
+def quiet():
+    return Cloud(seed=3, config=CloudConfig(heartbeats_enabled=False))
+
+
+def test_unknown_api_key_rejected(quiet):
+    with pytest.raises(KeyError):
+        quiet.faults.inject_api_error("rest:nova:GET:/bogus", 500, "x")
+
+
+def test_count_limits_injections(quiet):
+    key = "rest:glance:GET:/v2/images"
+    quiet.faults.inject_api_error(key, 500, "x", count=2)
+    assert quiet.faults.forced_error(key) is not None
+    assert quiet.faults.forced_error(key) is not None
+    assert quiet.faults.forced_error(key) is None
+    assert quiet.faults.injected_error_count == 2
+
+
+def test_time_window_respected(quiet):
+    key = "rest:glance:GET:/v2/images"
+    quiet.faults.inject_api_error(key, 500, "x", count=None, start=10.0, end=20.0)
+    assert quiet.faults.forced_error(key) is None       # t=0 < start
+    quiet.sim.run(until=15.0)
+    assert quiet.faults.forced_error(key) is not None   # inside window
+    quiet.sim.run(until=25.0)
+    assert quiet.faults.forced_error(key) is None       # past end
+
+
+def test_clear_api_errors(quiet):
+    key = "rest:glance:GET:/v2/images"
+    quiet.faults.inject_api_error(key, 500, "x", count=None)
+    quiet.faults.clear_api_errors(key)
+    assert quiet.faults.forced_error(key) is None
+
+
+def test_crash_everywhere_returns_nodes(quiet):
+    nodes = quiet.faults.crash_everywhere("nova-compute")
+    assert nodes == ["compute-1", "compute-2", "compute-3"]
+    assert quiet.faults.crash_everywhere("nova-compute") == []  # already dead
+
+
+def test_restart_process(quiet):
+    quiet.faults.crash_process("compute-1", "libvirtd")
+    assert not quiet.processes.is_alive("compute-1", "libvirtd")
+    quiet.faults.restart_process("compute-1", "libvirtd")
+    assert quiet.processes.is_alive("compute-1", "libvirtd")
+
+
+def test_cpu_surge_applies_to_resources(quiet):
+    quiet.faults.cpu_surge("neutron-ctl", 0.5, start=0.0, end=10.0)
+    assert quiet.resources["neutron-ctl"].cpu_util(5.0) >= 0.5
+    assert quiet.resources["neutron-ctl"].cpu_util(15.0) < 0.5
+
+
+def test_fill_disk_leaves_requested_free(quiet):
+    quiet.faults.fill_disk("glance-node", leave_free_gb=7.5)
+    assert quiet.resources["glance-node"].disk_free_gb(0.0) == pytest.approx(7.5)
+    # Filling again with a larger target must not free space.
+    quiet.faults.fill_disk("glance-node", leave_free_gb=100.0)
+    assert quiet.resources["glance-node"].disk_free_gb(0.0) == pytest.approx(7.5)
+
+
+def test_latency_injection_is_per_node_path(quiet):
+    quiet.faults.inject_latency("glance-node", 0.05)
+    assert quiet.faults.extra_net_delay("ctrl", "glance-node") == pytest.approx(0.05)
+    assert quiet.faults.extra_net_delay("glance-node", "ctrl") == pytest.approx(0.05)
+    assert quiet.faults.extra_net_delay("ctrl", "nova-ctl") == 0.0
+
+
+def test_latency_injections_stack(quiet):
+    quiet.faults.inject_latency("glance-node", 0.05)
+    quiet.faults.inject_latency("ctrl", 0.02)
+    assert quiet.faults.extra_net_delay("ctrl", "glance-node") == pytest.approx(0.07)
+
+
+def test_slow_service_validation(quiet):
+    with pytest.raises(ValueError):
+        quiet.faults.slow_service("glance", 0.0)
+
+
+def test_memory_pressure(quiet):
+    before = quiet.resources["ctrl"].mem_used_mb(0.0)
+    quiet.faults.memory_pressure("ctrl", 10_000.0)
+    assert quiet.resources["ctrl"].mem_used_mb(1.0) > before

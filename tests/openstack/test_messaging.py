@@ -1,0 +1,162 @@
+"""Tests for the REST/RPC transport engine."""
+
+import pytest
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.config import CloudConfig
+from repro.openstack.apis import ApiKind
+
+
+def run_op(cloud, generator):
+    """Drive one operation to completion; returns its value."""
+    result = []
+
+    def proc():
+        value = yield from generator
+        result.append(value)
+
+    process = cloud.sim.spawn(proc())
+    cloud.run_until([process])
+    return result[0]
+
+
+@pytest.fixture()
+def quiet():
+    return Cloud(seed=2, config=CloudConfig(heartbeats_enabled=False))
+
+
+def capture(cloud):
+    events = []
+    cloud.taps.attach_global(events.append)
+    return events
+
+
+def test_rest_round_trip(quiet):
+    events = capture(quiet)
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    assert response.ok
+    target = [e for e in events if e.name == "/v2/images"]
+    assert len(target) == 1
+    event = target[0]
+    assert event.kind is ApiKind.REST
+    assert event.latency > 0
+    assert event.src_node == "ctrl"
+    assert event.dst_node == "glance-node"
+
+
+def test_first_call_triggers_auth_leg(quiet):
+    events = capture(quiet)
+    ctx = quiet.client_context()
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    auth = [e for e in events if e.dst_service == "keystone"]
+    assert len(auth) >= 1
+    assert all(e.noise for e in auth if e.name == "/v3/auth/tokens")
+
+
+def test_token_cached_within_ttl(quiet):
+    events = capture(quiet)
+    ctx = quiet.client_context()
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    # POST /v3/auth/tokens (token issue) happens once thanks to caching.
+    issues = [e for e in events
+              if e.name == "/v3/auth/tokens" and e.method == "POST"]
+    assert len(issues) == 1
+
+
+def test_error_returned_not_raised(quiet):
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("glance", "GET", "/v2/images/{id}",
+                                      {"id": "missing"}))
+    assert response.status == 404
+    assert response.error
+
+
+def test_forced_error_injection(quiet):
+    key = "rest:glance:GET:/v2/images"
+    quiet.faults.inject_api_error(key, 503, "maintenance", count=1)
+    ctx = quiet.client_context()
+    first = run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    second = run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    assert first.status == 503
+    assert second.ok
+
+
+def test_forced_error_scoped_by_op_id(quiet):
+    key = "rest:glance:GET:/v2/images"
+    quiet.faults.inject_api_error(key, 500, "targeted", count=1, op_id="op-X")
+    other = quiet.client_context(op_id="op-Y")
+    target = quiet.client_context(op_id="op-X")
+    assert run_op(quiet, other.rest("glance", "GET", "/v2/images")).ok
+    assert run_op(quiet, target.rest("glance", "GET", "/v2/images")).status == 500
+
+
+def test_rpc_call_round_trip(quiet):
+    events = capture(quiet)
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rpc("neutron", "sync_routers"))
+    assert response.ok
+    rpc_events = [e for e in events if e.kind is ApiKind.RPC]
+    assert len(rpc_events) == 1
+    assert rpc_events[0].msg_id.startswith("msg-")
+
+
+def test_rpc_cast_is_asynchronous(quiet):
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rpc("neutron", "port_update", {"port_id": "p"}))
+    assert response.ok  # publish acknowledged before handler work
+
+
+def test_rpc_broker_down_times_out(quiet):
+    quiet.faults.crash_process("ctrl", "rabbitmq")
+    ctx = quiet.client_context()
+    start = quiet.sim.now
+    response = run_op(quiet, ctx.rpc("neutron", "sync_routers"))
+    assert response.status == 504
+    assert "MessagingTimeout" in response.body
+    assert quiet.sim.now - start >= quiet.broker.TIMEOUT
+
+
+def test_injected_latency_inflates_observed_latency(quiet):
+    events = capture(quiet)
+    ctx = quiet.client_context()
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    baseline = [e for e in events if e.name == "/v2/images"][-1].latency
+    quiet.faults.inject_latency("glance-node", 0.050)
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    slowed = [e for e in events if e.name == "/v2/images"][-1].latency
+    assert slowed > baseline + 0.08  # 50 ms each way
+
+
+def test_service_slowdown_multiplier(quiet):
+    events = capture(quiet)
+    ctx = quiet.client_context()
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    baseline = [e for e in events if e.name == "/v2/images"][-1].latency
+    quiet.faults.slow_service("glance", 20.0)
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    slowed = [e for e in events if e.name == "/v2/images"][-1].latency
+    assert slowed > baseline * 3
+    quiet.faults.reset_service_speed("glance")
+
+
+def test_ground_truth_labels_propagate(quiet):
+    events = capture(quiet)
+    ctx = quiet.client_context(op_id="op-42", test_id="test-42")
+    run_op(quiet, ctx.rest("nova", "POST", "/v2.1/servers", {"name": "x"}))
+    quiet.settle(3.0)
+    labelled = [e for e in events if e.op_id == "op-42"]
+    # The whole nested cascade carries the initiating operation's id.
+    assert len(labelled) >= 3
+    assert {e.test_id for e in labelled} == {"test-42"}
+
+
+def test_event_sequence_numbers_increase(quiet):
+    events = capture(quiet)
+    ctx = quiet.client_context()
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    run_op(quiet, ctx.rest("glance", "GET", "/v2/images"))
+    seqs = [e.seq for e in events]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)

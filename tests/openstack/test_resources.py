@@ -1,0 +1,110 @@
+"""Tests for the per-node resource model."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.openstack.resources import NodeResources
+from repro.openstack.topology import NodeSpec
+
+
+def make_resources():
+    spec = NodeSpec("test-node", "10.0.0.1")
+    return NodeResources(spec, random.Random(0))
+
+
+def test_baseline_cpu_low():
+    resources = make_resources()
+    assert resources.cpu_util(0.0) < 0.1
+
+
+def test_inflight_raises_cpu():
+    resources = make_resources()
+    idle = resources.cpu_util(0.0)
+    for _ in range(20):
+        resources.enter()
+    assert resources.cpu_util(0.0) > idle
+    for _ in range(20):
+        resources.leave()
+    assert resources.cpu_util(0.0) == pytest.approx(idle)
+
+
+def test_leave_underflow_raises():
+    with pytest.raises(RuntimeError):
+        make_resources().leave()
+
+
+def test_cpu_clamped_to_one():
+    resources = make_resources()
+    resources.inject("cpu", 5.0, start=0.0)
+    assert resources.cpu_util(1.0) == 1.0
+
+
+def test_surge_window_respected():
+    resources = make_resources()
+    resources.inject("cpu", 0.5, start=10.0, end=20.0)
+    assert resources.cpu_util(5.0) < 0.2
+    assert resources.cpu_util(15.0) > 0.5
+    assert resources.cpu_util(25.0) < 0.2
+
+
+def test_open_ended_surge():
+    resources = make_resources()
+    resources.inject("cpu", 0.4, start=10.0, end=None)
+    assert resources.cpu_util(1e9) > 0.4
+
+
+def test_invalid_metric_rejected():
+    with pytest.raises(ValueError):
+        make_resources().inject("gpu", 1.0, start=0.0)
+
+
+def test_disk_consumption_and_release():
+    resources = make_resources()
+    free_before = resources.disk_free_gb(0.0)
+    resources.consume_disk(100.0)
+    assert resources.disk_free_gb(0.0) == pytest.approx(free_before - 100.0)
+    resources.release_disk(50.0)
+    assert resources.disk_free_gb(0.0) == pytest.approx(free_before - 50.0)
+
+
+def test_disk_never_negative():
+    resources = make_resources()
+    resources.consume_disk(10_000.0)
+    assert resources.disk_free_gb(0.0) == 0.0
+    resources.release_disk(1e9)
+    assert resources.disk_used_gb == 0.0
+
+
+def test_slowdown_monotone_in_load():
+    resources = make_resources()
+    idle = resources.slowdown(0.0)
+    resources.inject("cpu", 0.6, start=0.0)
+    assert resources.slowdown(1.0) > idle
+    assert idle >= 1.0
+
+
+def test_sample_fields_consistent():
+    resources = make_resources()
+    sample = resources.sample(3.0)
+    assert sample.node == "test-node"
+    assert sample.ts == 3.0
+    assert 0.0 <= sample.cpu_util <= 1.0
+    assert 0.0 <= sample.mem_util <= 1.0
+    assert 0.0 <= sample.disk_free_fraction <= 1.0
+
+
+def test_memory_pressure_visible_in_sample():
+    resources = make_resources()
+    before = resources.sample(0.0).mem_used_mb
+    resources.inject("mem_mb", 50_000.0, start=0.0)
+    assert resources.sample(1.0).mem_used_mb > before
+
+
+@given(st.integers(min_value=0, max_value=200))
+def test_cpu_always_in_unit_interval(inflight):
+    resources = make_resources()
+    for _ in range(inflight):
+        resources.enter()
+    assert 0.0 <= resources.cpu_util(0.0) <= 1.0

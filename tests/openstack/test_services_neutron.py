@@ -1,0 +1,147 @@
+"""Tests for the Neutron service: networks, ports, binding, agents."""
+
+import pytest
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.config import CloudConfig
+
+
+@pytest.fixture()
+def quiet():
+    return Cloud(seed=6, config=CloudConfig(heartbeats_enabled=False))
+
+
+def run_op(cloud, generator):
+    result = []
+
+    def proc():
+        value = yield from generator
+        result.append(value)
+
+    process = cloud.sim.spawn(proc())
+    cloud.run_until([process])
+    return result[0]
+
+
+def test_network_crud(quiet):
+    ctx = quiet.client_context()
+    created = run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/networks.json",
+                                     {"name": "net1"}))
+    network_id = created.data["id"]
+    shown = run_op(quiet, ctx.rest("neutron", "GET", "/v2.0/networks.json/{id}",
+                                   {"id": network_id}))
+    assert shown.data["network"]["name"] == "net1"
+    deleted = run_op(quiet, ctx.rest("neutron", "DELETE",
+                                     "/v2.0/networks.json/{id}",
+                                     {"id": network_id}))
+    assert deleted.ok
+
+
+def test_network_delete_with_ports_conflicts(quiet):
+    ctx = quiet.client_context()
+    network = run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/networks.json", {}))
+    network_id = network.data["id"]
+    run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/ports.json",
+                           {"network_id": network_id}))
+    response = run_op(quiet, ctx.rest("neutron", "DELETE",
+                                      "/v2.0/networks.json/{id}",
+                                      {"id": network_id}))
+    assert response.status == 409
+
+
+def test_port_binding_succeeds_with_live_agent(quiet):
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/ports.json",
+                                      {"binding_host": "compute-1"}))
+    assert response.data["binding"] == "ok"
+
+
+def test_port_binding_fails_with_dead_agent(quiet):
+    quiet.faults.crash_process("compute-1", "neutron-plugin-linuxbridge-agent")
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/ports.json",
+                                      {"binding_host": "compute-1"}))
+    assert response.data["binding"] == "failed"
+
+
+def test_port_binding_on_unknown_host_is_unbound(quiet):
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/ports.json",
+                                      {"binding_host": "nova-ctl"}))
+    # No L2 agent installed there: port is created but not bound.
+    assert response.data["binding"] == "ok"
+
+
+def test_router_interface_lifecycle(quiet):
+    ctx = quiet.client_context()
+    router = run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/routers.json", {}))
+    router_id = router.data["id"]
+    run_op(quiet, ctx.rest("neutron", "PUT",
+                           "/v2.0/routers/{id}/add_router_interface",
+                           {"id": router_id, "subnet_id": "sub-1"}))
+    conflict = run_op(quiet, ctx.rest("neutron", "DELETE",
+                                      "/v2.0/routers.json/{id}",
+                                      {"id": router_id}))
+    assert conflict.status == 409
+    run_op(quiet, ctx.rest("neutron", "PUT",
+                           "/v2.0/routers/{id}/remove_router_interface",
+                           {"id": router_id, "subnet_id": "sub-1"}))
+    deleted = run_op(quiet, ctx.rest("neutron", "DELETE",
+                                     "/v2.0/routers.json/{id}",
+                                     {"id": router_id}))
+    assert deleted.ok
+
+
+def test_floatingip_associate(quiet):
+    ctx = quiet.client_context()
+    fip = run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/floatingips.json", {}))
+    response = run_op(quiet, ctx.rest("neutron", "PUT",
+                                      "/v2.0/floatingips.json/{id}",
+                                      {"id": fip.data["id"], "port_id": "p-1"}))
+    assert response.data["floatingip"]["status"] == "ACTIVE"
+
+
+def test_secgroup_rules_accumulate(quiet):
+    ctx = quiet.client_context()
+    sg = run_op(quiet, ctx.rest("neutron", "POST",
+                                "/v2.0/security-groups.json", {}))
+    for _ in range(3):
+        run_op(quiet, ctx.rest("neutron", "POST",
+                               "/v2.0/security-group-rules.json",
+                               {"security_group_id": sg.data["id"]}))
+    quiet.settle(1.0)
+    record = quiet.db.peek("neutron:security-groups", sg.data["id"])
+    assert len(record["rules"]) == 3
+
+
+def test_agents_listing_reflects_liveness(quiet):
+    ctx = quiet.client_context()
+    quiet.faults.crash_process("compute-3", "neutron-plugin-linuxbridge-agent")
+    response = run_op(quiet, ctx.rest("neutron", "GET", "/v2.0/agents"))
+    alive = {a["host"]: a["alive"] for a in response.data["agents"]}
+    assert alive["compute-1"] is True
+    assert alive["compute-3"] is False
+
+
+def test_update_device_up_posts_external_event_to_nova(quiet):
+    events = []
+    quiet.taps.attach_global(events.append)
+    ctx = quiet.client_context()
+    port = run_op(quiet, ctx.rest("neutron", "POST", "/v2.0/ports.json", {}))
+    run_op(quiet, ctx.rpc("neutron", "update_device_up",
+                          {"port_id": port.data["id"], "server_id": "srv-1"}))
+    callbacks = [e for e in events if e.name == "/v2.1/os-server-external-events"]
+    assert len(callbacks) == 1
+    assert callbacks[0].src_service == "neutron"
+    assert callbacks[0].dst_service == "nova"
+
+
+def test_devices_details_latency_scales_with_cpu(quiet):
+    ctx = quiet.client_context()
+    events = []
+    quiet.taps.attach_global(events.append)
+    run_op(quiet, ctx.rpc("neutron", "get_devices_details_list", {"devices": []}))
+    baseline = events[-1].latency
+    quiet.faults.cpu_surge("neutron-ctl", 0.7)
+    run_op(quiet, ctx.rpc("neutron", "get_devices_details_list", {"devices": []}))
+    assert events[-1].latency > baseline * 1.5

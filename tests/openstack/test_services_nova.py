@@ -1,0 +1,327 @@
+"""Tests for the Nova service: VM lifecycle and failure modes."""
+
+import pytest
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.config import CloudConfig
+from repro.openstack.services.nova import NO_VALID_HOST, SERVERS
+
+
+@pytest.fixture()
+def quiet():
+    return Cloud(seed=5, config=CloudConfig(heartbeats_enabled=False))
+
+
+def run_op(cloud, generator):
+    result = []
+
+    def proc():
+        value = yield from generator
+        result.append(value)
+
+    process = cloud.sim.spawn(proc())
+    cloud.run_until([process])
+    return result[0]
+
+
+def boot(cloud, ctx, image_id="img-x", wait=True):
+    """Create an image record and boot a server; returns server id."""
+
+    def script():
+        image = yield from ctx.rest("glance", "POST", "/v2/images", {"name": "i"})
+        yield from ctx.rest("glance", "PUT", "/v2/images/{id}/file",
+                            {"id": image.data["id"], "size_gb": 1.0})
+        response = yield from ctx.rest("nova", "POST", "/v2.1/servers",
+                                       {"name": "vm", "image": image.data["id"]})
+        return response.data["server"]["id"]
+
+    server_id = run_op(cloud, script())
+    if wait:
+        cloud.settle(3.0)
+    return server_id
+
+
+def test_boot_reaches_active(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    record = quiet.db.peek(SERVERS, server_id)
+    assert record["status"] == "ACTIVE"
+    assert record["node"] in ("compute-1", "compute-2", "compute-3")
+    assert len(record["ports"]) == 1
+
+
+def test_boot_creates_neutron_port(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    record = quiet.db.peek(SERVERS, server_id)
+    port = quiet.db.peek("neutron:ports", record["ports"][0])
+    assert port is not None
+    assert port["status"] == "ACTIVE"
+    assert port["device_id"] == server_id
+
+
+def test_no_compute_service_means_no_valid_host(quiet):
+    quiet.faults.crash_everywhere("nova-compute")
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    record = quiet.db.peek(SERVERS, server_id)
+    assert record["status"] == "ERROR"
+    assert record["fault"] == NO_VALID_HOST
+
+
+def test_linuxbridge_down_fails_boot_with_no_valid_host(quiet):
+    quiet.faults.crash_everywhere("neutron-plugin-linuxbridge-agent")
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    record = quiet.db.peek(SERVERS, server_id)
+    assert record["status"] == "ERROR"
+    assert record["fault"] == NO_VALID_HOST
+    # Unlike the dead-compute case, nova-compute itself is healthy.
+    assert quiet.processes.is_alive("compute-1", "nova-compute")
+
+
+def test_libvirt_down_fails_boot(quiet):
+    for node in ("compute-1", "compute-2", "compute-3"):
+        quiet.faults.crash_process(node, "libvirtd")
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    record = quiet.db.peek(SERVERS, server_id)
+    assert record["status"] == "ERROR"
+    assert "Hypervisor" in record["fault"]
+
+
+def test_missing_image_fails_boot(quiet):
+    ctx = quiet.client_context()
+
+    def script():
+        response = yield from ctx.rest("nova", "POST", "/v2.1/servers",
+                                       {"name": "vm", "image": "img-missing"})
+        return response.data["server"]["id"]
+
+    server_id = run_op(quiet, script())
+    quiet.settle(3.0)
+    record = quiet.db.peek(SERVERS, server_id)
+    assert record["status"] == "ERROR"
+    assert "could not be fetched" in record["fault"]
+
+
+def test_show_errored_server_returns_500_with_fault(quiet):
+    quiet.faults.crash_everywhere("nova-compute")
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    response = run_op(quiet, ctx.rest("nova", "GET", "/v2.1/servers/{id}",
+                                      {"id": server_id}))
+    assert response.status == 500
+    assert "No valid host" in response.body
+
+
+def test_show_missing_server_404(quiet):
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("nova", "GET", "/v2.1/servers/{id}",
+                                      {"id": "nope"}))
+    assert response.status == 404
+
+
+def test_delete_server_removes_record_and_port(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    port_id = quiet.db.peek(SERVERS, server_id)["ports"][0]
+    run_op(quiet, ctx.rest("nova", "DELETE", "/v2.1/servers/{id}",
+                           {"id": server_id}))
+    quiet.settle(3.0)
+    assert quiet.db.peek(SERVERS, server_id) is None
+    assert quiet.db.peek("neutron:ports", port_id) is None
+
+
+def test_scheduler_round_robins_hosts(quiet):
+    ctx = quiet.client_context()
+    nodes = {quiet.db.peek(SERVERS, boot(quiet, ctx))["node"] for _ in range(6)}
+    assert len(nodes) == 3
+
+
+def test_action_transitions(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    for action, state in (
+        ("os-stop", "SHUTOFF"), ("os-start", "ACTIVE"),
+        ("pause", "PAUSED"), ("unpause", "ACTIVE"),
+        ("suspend", "SUSPENDED"), ("resume", "ACTIVE"),
+        ("shelve", "SHELVED_OFFLOADED"), ("unshelve", "ACTIVE"),
+    ):
+        response = run_op(quiet, ctx.rest(
+            "nova", "POST", f"/v2.1/servers/{{id}}/action#{action}",
+            {"id": server_id}))
+        assert response.ok, action
+        quiet.settle(1.0)  # the compute agent applies the transition
+        assert quiet.db.peek(SERVERS, server_id)["status"] == state, action
+
+
+def test_action_on_errored_server_conflicts(quiet):
+    quiet.faults.crash_everywhere("nova-compute")
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    response = run_op(quiet, ctx.rest(
+        "nova", "POST", "/v2.1/servers/{id}/action#reboot", {"id": server_id}))
+    assert response.status == 409
+
+
+def test_resize_and_confirm(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    response = run_op(quiet, ctx.rest(
+        "nova", "POST", "/v2.1/servers/{id}/action#resize", {"id": server_id}))
+    assert response.ok
+    assert quiet.db.peek(SERVERS, server_id)["status"] == "VERIFY_RESIZE"
+    run_op(quiet, ctx.rest(
+        "nova", "POST", "/v2.1/servers/{id}/action#confirmResize",
+        {"id": server_id}))
+    assert quiet.db.peek(SERVERS, server_id)["status"] == "ACTIVE"
+
+
+def test_live_migration_moves_host(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    before = quiet.db.peek(SERVERS, server_id)["node"]
+    response = run_op(quiet, ctx.rest(
+        "nova", "POST", "/v2.1/servers/{id}/action#os-migrateLive",
+        {"id": server_id}))
+    assert response.ok
+    after = quiet.db.peek(SERVERS, server_id)["node"]
+    assert after != before
+
+
+def test_create_image_action_registers_snapshot(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    images_before = quiet.db.count("glance:images")
+    response = run_op(quiet, ctx.rest(
+        "nova", "POST", "/v2.1/servers/{id}/action#createImage",
+        {"id": server_id}))
+    assert response.ok
+    quiet.settle(3.0)
+    assert quiet.db.count("glance:images") == images_before + 1
+
+
+def test_attach_and_detach_interface(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    response = run_op(quiet, ctx.rest(
+        "nova", "POST", "/v2.1/servers/{id}/os-interface", {"id": server_id}))
+    assert response.ok
+    port_id = response.data["port_id"]
+    assert len(quiet.db.peek(SERVERS, server_id)["ports"]) == 2
+    run_op(quiet, ctx.rest(
+        "nova", "DELETE", "/v2.1/servers/{id}/os-interface/{port_id}",
+        {"id": server_id, "port_id": port_id}))
+    assert len(quiet.db.peek(SERVERS, server_id)["ports"]) == 1
+
+
+def test_external_events_endpoint(quiet):
+    ctx = quiet.client_context()
+    server_id = boot(quiet, ctx)
+    response = run_op(quiet, ctx.rest(
+        "nova", "POST", "/v2.1/os-server-external-events",
+        {"server_id": server_id, "event": "network-vif-plugged"}))
+    assert response.ok
+    assert quiet.db.peek(SERVERS, server_id)["vif_plugged"] is True
+
+
+def test_os_services_reflects_process_table(quiet):
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("nova", "GET", "/v2.1/os-services"))
+    states = {s["host"]: s["state"] for s in response.data["services"]}
+    assert states == {"compute-1": "up", "compute-2": "up", "compute-3": "up"}
+    quiet.faults.crash_process("compute-2", "nova-compute")
+    response = run_op(quiet, ctx.rest("nova", "GET", "/v2.1/os-services"))
+    states = {s["host"]: s["state"] for s in response.data["services"]}
+    assert states["compute-2"] == "down"
+
+
+def test_boot_from_volume(quiet):
+    ctx = quiet.client_context()
+
+    def script():
+        volume = yield from ctx.rest("cinder", "POST", "/v2/{tenant}/volumes",
+                                     {"size_gb": 4.0})
+        yield from ctx.sleep(0.5)  # backend provisioning
+        response = yield from ctx.rest(
+            "nova", "POST", "/v2.1/servers",
+            {"name": "bfv", "boot_volume": volume.data["id"]})
+        return volume.data["id"], response.data["server"]["id"]
+
+    result = []
+
+    def proc():
+        value = yield from script()
+        result.append(value)
+
+    process = quiet.sim.spawn(proc())
+    quiet.run_until([process])
+    quiet.settle(3.0)
+    volume_id, server_id = result[0]
+    record = quiet.db.peek(SERVERS, server_id)
+    assert record["status"] == "ACTIVE"
+    assert volume_id in record["volumes"]
+    assert quiet.db.peek("cinder:volumes", volume_id)["status"] == "in-use"
+
+
+def test_boot_from_volume_with_dead_backend_fails(quiet):
+    quiet.faults.crash_process("cinder-node", "cinder-volume")
+    ctx = quiet.client_context()
+
+    def proc():
+        response = yield from ctx.rest(
+            "nova", "POST", "/v2.1/servers",
+            {"name": "bfv", "boot_volume": "vol-missing"})
+        return response.data["server"]["id"]
+
+    result = []
+
+    def outer():
+        value = yield from proc()
+        result.append(value)
+
+    process = quiet.sim.spawn(outer())
+    quiet.run_until([process])
+    quiet.settle(3.0)
+    record = quiet.db.peek(SERVERS, result[0])
+    assert record["status"] == "ERROR"
+    assert "Boot volume" in record["fault"]
+
+
+def test_terminate_detaches_attached_volumes(quiet):
+    ctx = quiet.client_context()
+
+    def script():
+        image = yield from ctx.rest("glance", "POST", "/v2/images", {})
+        yield from ctx.rest("glance", "PUT", "/v2/images/{id}/file",
+                            {"id": image.data["id"], "size_gb": 1.0})
+        server = yield from ctx.rest("nova", "POST", "/v2.1/servers",
+                                     {"image": image.data["id"]})
+        server_id = server.data["server"]["id"]
+        yield from ctx.sleep(2.0)
+        volume = yield from ctx.rest("cinder", "POST", "/v2/{tenant}/volumes", {})
+        yield from ctx.sleep(0.5)
+        volume_id = volume.data["id"]
+        yield from ctx.rest("cinder", "POST",
+                            "/v2/{tenant}/volumes/{id}/action#os-reserve",
+                            {"id": volume_id})
+        attach = yield from ctx.rest(
+            "nova", "POST", "/v2.1/servers/{id}/os-volume_attachments",
+            {"id": server_id, "volume_id": volume_id})
+        assert attach.ok, attach.body
+        yield from ctx.rest("nova", "DELETE", "/v2.1/servers/{id}",
+                            {"id": server_id})
+        return volume_id
+
+    result = []
+
+    def outer():
+        value = yield from script()
+        result.append(value)
+
+    process = quiet.sim.spawn(outer())
+    quiet.run_until([process])
+    quiet.settle(3.0)
+    volume = quiet.db.peek("cinder:volumes", result[0])
+    assert volume["status"] == "available"

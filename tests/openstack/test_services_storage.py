@@ -1,0 +1,237 @@
+"""Tests for Glance, Cinder and Swift services."""
+
+import pytest
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.config import CloudConfig
+
+
+@pytest.fixture()
+def quiet():
+    return Cloud(seed=9, config=CloudConfig(heartbeats_enabled=False))
+
+
+def run_op(cloud, generator):
+    result = []
+
+    def proc():
+        value = yield from generator
+        result.append(value)
+
+    process = cloud.sim.spawn(proc())
+    cloud.run_until([process])
+    return result[0]
+
+
+# ---------------------------------------------------------------------------
+# Glance
+# ---------------------------------------------------------------------------
+
+def _register_image(quiet, ctx):
+    response = run_op(quiet, ctx.rest("glance", "POST", "/v2/images",
+                                      {"name": "img"}))
+    return response.data["id"]
+
+
+def test_image_upload_consumes_disk(quiet):
+    ctx = quiet.client_context()
+    image_id = _register_image(quiet, ctx)
+    free_before = quiet.resources["glance-node"].disk_free_gb(quiet.sim.now)
+    response = run_op(quiet, ctx.rest("glance", "PUT", "/v2/images/{id}/file",
+                                      {"id": image_id, "size_gb": 3.0}))
+    assert response.ok
+    free_after = quiet.resources["glance-node"].disk_free_gb(quiet.sim.now)
+    assert free_after == pytest.approx(free_before - 3.0)
+    record = quiet.db.peek("glance:images", image_id)
+    assert record["status"] == "active"
+
+
+def test_image_upload_413_when_disk_low(quiet):
+    quiet.faults.fill_disk("glance-node", leave_free_gb=6.0)
+    ctx = quiet.client_context()
+    image_id = _register_image(quiet, ctx)
+    response = run_op(quiet, ctx.rest("glance", "PUT", "/v2/images/{id}/file",
+                                      {"id": image_id, "size_gb": 2.0}))
+    assert response.status == 413
+    assert "Request Entity Too Large" in response.body
+
+
+def test_image_delete_releases_disk(quiet):
+    ctx = quiet.client_context()
+    image_id = _register_image(quiet, ctx)
+    run_op(quiet, ctx.rest("glance", "PUT", "/v2/images/{id}/file",
+                           {"id": image_id, "size_gb": 2.0}))
+    free_mid = quiet.resources["glance-node"].disk_free_gb(quiet.sim.now)
+    run_op(quiet, ctx.rest("glance", "DELETE", "/v2/images/{id}",
+                           {"id": image_id}))
+    assert quiet.resources["glance-node"].disk_free_gb(quiet.sim.now) == pytest.approx(
+        free_mid + 2.0
+    )
+
+
+def test_image_download_requires_data(quiet):
+    ctx = quiet.client_context()
+    image_id = _register_image(quiet, ctx)
+    response = run_op(quiet, ctx.rest("glance", "GET", "/v2/images/{id}/file",
+                                      {"id": image_id}))
+    assert response.status == 409
+
+
+def test_image_deactivate_reactivate(quiet):
+    ctx = quiet.client_context()
+    image_id = _register_image(quiet, ctx)
+    run_op(quiet, ctx.rest("glance", "POST",
+                           "/v2/images/{id}/actions/deactivate", {"id": image_id}))
+    assert quiet.db.peek("glance:images", image_id)["status"] == "deactivated"
+    run_op(quiet, ctx.rest("glance", "POST",
+                           "/v2/images/{id}/actions/reactivate", {"id": image_id}))
+    assert quiet.db.peek("glance:images", image_id)["status"] == "active"
+
+
+# ---------------------------------------------------------------------------
+# Cinder
+# ---------------------------------------------------------------------------
+
+def _create_volume(quiet, ctx, size_gb=1.0):
+    response = run_op(quiet, ctx.rest("cinder", "POST", "/v2/{tenant}/volumes",
+                                      {"size_gb": size_gb}))
+    quiet.settle(1.0)  # async backend provisioning
+    return response.data["id"]
+
+
+def test_volume_becomes_available(quiet):
+    ctx = quiet.client_context()
+    volume_id = _create_volume(quiet, ctx)
+    assert quiet.db.peek("cinder:volumes", volume_id)["status"] == "available"
+
+
+def test_volume_error_when_backend_down(quiet):
+    quiet.faults.crash_process("cinder-node", "cinder-volume")
+    ctx = quiet.client_context()
+    volume_id = _create_volume(quiet, ctx)
+    record = quiet.db.peek("cinder:volumes", volume_id)
+    assert record["status"] == "error"
+    assert "cinder-volume is down" in record["fault"]
+
+
+def test_show_errored_volume_returns_500(quiet):
+    quiet.faults.crash_process("cinder-node", "cinder-volume")
+    ctx = quiet.client_context()
+    volume_id = _create_volume(quiet, ctx)
+    response = run_op(quiet, ctx.rest("cinder", "GET", "/v2/{tenant}/volumes/{id}",
+                                      {"id": volume_id}))
+    assert response.status == 500
+
+
+def test_volume_attach_detach_cycle(quiet):
+    ctx = quiet.client_context()
+    volume_id = _create_volume(quiet, ctx)
+    for action, state in (("os-reserve", "attaching"), ("os-attach", "in-use"),
+                          ("os-detach", "available")):
+        response = run_op(quiet, ctx.rest(
+            "cinder", "POST", f"/v2/{{tenant}}/volumes/{{id}}/action#{action}",
+            {"id": volume_id}))
+        assert response.ok
+        assert quiet.db.peek("cinder:volumes", volume_id)["status"] == state
+
+
+def test_attached_volume_cannot_be_deleted(quiet):
+    ctx = quiet.client_context()
+    volume_id = _create_volume(quiet, ctx)
+    run_op(quiet, ctx.rest("cinder", "POST",
+                           "/v2/{tenant}/volumes/{id}/action#os-attach",
+                           {"id": volume_id}))
+    response = run_op(quiet, ctx.rest("cinder", "DELETE",
+                                      "/v2/{tenant}/volumes/{id}",
+                                      {"id": volume_id}))
+    assert response.status == 400
+
+
+def test_snapshot_lifecycle(quiet):
+    ctx = quiet.client_context()
+    volume_id = _create_volume(quiet, ctx)
+    response = run_op(quiet, ctx.rest("cinder", "POST", "/v2/{tenant}/snapshots",
+                                      {"volume_id": volume_id}))
+    snapshot_id = response.data["id"]
+    quiet.settle(1.0)
+    assert quiet.db.peek("cinder:snapshots", snapshot_id)["status"] == "available"
+
+
+def test_backup_lands_in_swift(quiet):
+    ctx = quiet.client_context()
+    volume_id = _create_volume(quiet, ctx)
+    objects_before = quiet.db.count("swift:objects")
+    run_op(quiet, ctx.rest("cinder", "POST", "/v2/{tenant}/backups",
+                           {"volume_id": volume_id}))
+    quiet.settle(1.0)
+    assert quiet.db.count("swift:objects") == objects_before + 1
+
+
+def test_volume_upload_to_image(quiet):
+    ctx = quiet.client_context()
+    volume_id = _create_volume(quiet, ctx)
+    images_before = quiet.db.count("glance:images")
+    response = run_op(quiet, ctx.rest(
+        "cinder", "POST",
+        "/v2/{tenant}/volumes/{id}/action#os-volume_upload_image",
+        {"id": volume_id}))
+    assert response.ok
+    assert quiet.db.count("glance:images") == images_before + 1
+
+
+# ---------------------------------------------------------------------------
+# Swift
+# ---------------------------------------------------------------------------
+
+def test_swift_object_lifecycle(quiet):
+    ctx = quiet.client_context()
+    run_op(quiet, ctx.rest("swift", "PUT", "/v1/{account}/{container}",
+                           {"container": "c1"}))
+    run_op(quiet, ctx.rest("swift", "PUT", "/v1/{account}/{container}/{object}",
+                           {"container": "c1", "object": "o1", "size_gb": 0.2}))
+    head = run_op(quiet, ctx.rest("swift", "HEAD",
+                                  "/v1/{account}/{container}/{object}",
+                                  {"container": "c1", "object": "o1"}))
+    assert head.data["size_gb"] == pytest.approx(0.2)
+    conflict = run_op(quiet, ctx.rest("swift", "DELETE", "/v1/{account}/{container}",
+                                      {"container": "c1"}))
+    assert conflict.status == 409  # not empty
+    run_op(quiet, ctx.rest("swift", "DELETE", "/v1/{account}/{container}/{object}",
+                           {"container": "c1", "object": "o1"}))
+    deleted = run_op(quiet, ctx.rest("swift", "DELETE", "/v1/{account}/{container}",
+                                     {"container": "c1"}))
+    assert deleted.ok
+
+
+def test_swift_507_when_disk_full(quiet):
+    quiet.faults.fill_disk("glance-node", leave_free_gb=1.0)
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("swift", "PUT",
+                                      "/v1/{account}/{container}/{object}",
+                                      {"container": "c", "object": "o",
+                                       "size_gb": 0.5}))
+    assert response.status == 507
+
+
+# ---------------------------------------------------------------------------
+# Keystone (NTP interplay)
+# ---------------------------------------------------------------------------
+
+def test_ntp_down_on_service_node_yields_401(quiet):
+    quiet.faults.crash_process("cinder-node", "ntp")
+    events = []
+    quiet.taps.attach_global(events.append)
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("cinder", "GET", "/v2/{tenant}/volumes"))
+    assert response.status == 503
+    assert "Keystone" in response.body
+    unauthorized = [e for e in events if e.status == 401]
+    assert unauthorized
+    assert unauthorized[0].src_service == "cinder"
+    assert unauthorized[0].dst_service == "keystone"
+
+
+def test_ntp_healthy_allows_listing(quiet):
+    ctx = quiet.client_context()
+    response = run_op(quiet, ctx.rest("cinder", "GET", "/v2/{tenant}/volumes"))
+    assert response.ok

@@ -1,0 +1,72 @@
+"""Tests for the software-dependency process table."""
+
+import pytest
+
+from repro.openstack.software import ProcessTable
+
+
+def test_install_and_liveness():
+    table = ProcessTable()
+    table.install("node-a", "ntp")
+    assert table.is_alive("node-a", "ntp")
+    assert table.has("node-a", "ntp")
+    assert not table.has("node-a", "mysql")
+    assert not table.is_alive("node-b", "ntp")
+
+
+def test_duplicate_install_rejected():
+    table = ProcessTable()
+    table.install("node-a", "ntp")
+    with pytest.raises(ValueError):
+        table.install("node-a", "ntp")
+
+
+def test_kill_and_restart_cycle():
+    table = ProcessTable()
+    table.install("node-a", "mysql")
+    table.kill("node-a", "mysql", now=5.0)
+    assert not table.is_alive("node-a", "mysql")
+    process = table.get("node-a", "mysql")
+    assert process.since == 5.0
+    table.restart("node-a", "mysql", now=9.0)
+    assert table.is_alive("node-a", "mysql")
+    assert process.since == 9.0
+
+
+def test_kill_is_idempotent():
+    table = ProcessTable()
+    table.install("n", "p")
+    table.kill("n", "p", now=1.0)
+    table.kill("n", "p", now=2.0)
+    assert table.get("n", "p").since == 1.0  # first transition wins
+
+
+def test_kill_unknown_raises():
+    with pytest.raises(KeyError):
+        ProcessTable().kill("n", "p", now=0.0)
+
+
+def test_on_node_filters():
+    table = ProcessTable()
+    table.install("a", "x")
+    table.install("a", "y")
+    table.install("b", "x")
+    assert {p.name for p in table.on_node("a")} == {"x", "y"}
+    assert len(table.on_node("c")) == 0
+
+
+def test_dead_listing():
+    table = ProcessTable()
+    table.install("a", "x")
+    table.install("b", "y")
+    assert table.dead() == []
+    table.kill("b", "y", now=1.0)
+    assert [p.key for p in table.dead()] == [("b", "y")]
+
+
+def test_len_and_iteration():
+    table = ProcessTable()
+    for index in range(5):
+        table.install("node", f"proc-{index}")
+    assert len(table) == 5
+    assert len(list(table)) == 5

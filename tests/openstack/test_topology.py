@@ -1,0 +1,73 @@
+"""Tests for the deployment topology."""
+
+import pytest
+
+from repro.openstack.topology import NodeSpec, Topology, default_topology
+
+
+def test_default_topology_shape():
+    topology = default_topology()
+    assert len(topology.nodes) == 8  # 5 control + 3 compute
+    assert len(topology.compute_nodes()) == 3
+
+
+def test_custom_compute_count():
+    assert len(default_topology(compute_nodes=5).compute_nodes()) == 5
+
+
+def test_at_least_one_compute_required():
+    with pytest.raises(ValueError):
+        default_topology(compute_nodes=0)
+
+
+def test_service_homes():
+    topology = default_topology()
+    assert topology.home_of("nova") == "nova-ctl"
+    assert topology.home_of("neutron") == "neutron-ctl"
+    assert topology.home_of("glance") == "glance-node"
+    assert topology.home_of("swift") == "glance-node"
+    assert topology.home_of("cinder") == "cinder-node"
+    assert topology.home_of("keystone") == "ctrl"
+    assert topology.home_of("horizon") == "ctrl"
+
+
+def test_unknown_service_raises():
+    with pytest.raises(KeyError):
+        default_topology().home_of("heat")
+
+
+def test_latency_local_vs_remote():
+    topology = default_topology()
+    assert topology.latency("ctrl", "ctrl") < topology.latency("ctrl", "nova-ctl")
+
+
+def test_compute_nodes_run_required_processes():
+    topology = default_topology()
+    for node in topology.compute_nodes():
+        assert "nova-compute" in node.processes
+        assert "neutron-plugin-linuxbridge-agent" in node.processes
+        assert "libvirtd" in node.processes
+        assert "ntp" in node.processes
+
+
+def test_control_plane_dependencies_present():
+    ctrl = default_topology().node("ctrl")
+    assert "mysql" in ctrl.processes
+    assert "rabbitmq" in ctrl.processes
+
+
+def test_unique_ips():
+    topology = default_topology()
+    ips = [node.ip for node in topology.nodes]
+    assert len(ips) == len(set(ips))
+
+
+def test_duplicate_node_names_rejected():
+    with pytest.raises(ValueError):
+        Topology(nodes=[NodeSpec("a", "1.1.1.1"), NodeSpec("a", "1.1.1.2")])
+
+
+def test_node_names_order():
+    topology = default_topology()
+    assert topology.node_names()[0] == "ctrl"
+    assert topology.node_names()[-1] == "compute-3"

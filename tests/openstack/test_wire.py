@@ -1,0 +1,65 @@
+"""Tests for wire events and the tap bus."""
+
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import TapBus, WireEvent
+
+
+def make_event(seq=1, src_node="ctrl", status=200, kind=ApiKind.REST):
+    return WireEvent(
+        seq=seq, api_key="rest:nova:GET:/v2.1/servers", kind=kind,
+        method="GET", name="/v2.1/servers",
+        src_service="horizon", src_node=src_node, src_ip="10.0.0.10",
+        dst_service="nova", dst_node="nova-ctl", dst_ip="10.0.0.11",
+        ts_request=1.0, ts_response=1.01, status=status,
+    )
+
+
+def test_latency_property():
+    assert abs(make_event().latency - 0.01) < 1e-9
+
+
+def test_error_threshold():
+    assert not make_event(status=200).error
+    assert not make_event(status=399).error
+    assert make_event(status=400).error
+    assert make_event(status=503).error
+
+
+def test_is_rest():
+    assert make_event().is_rest
+    assert not make_event(kind=ApiKind.RPC).is_rest
+
+
+def test_node_tap_receives_only_its_traffic():
+    bus = TapBus()
+    seen_ctrl, seen_other = [], []
+    bus.attach("ctrl", seen_ctrl.append)
+    bus.attach("nova-ctl", seen_other.append)
+    bus.emit(make_event(src_node="ctrl"))
+    assert len(seen_ctrl) == 1
+    assert len(seen_other) == 0
+
+
+def test_global_tap_sees_everything():
+    bus = TapBus()
+    seen = []
+    bus.attach_global(seen.append)
+    bus.emit(make_event(src_node="ctrl"))
+    bus.emit(make_event(seq=2, src_node="nova-ctl"))
+    assert len(seen) == 2
+    assert bus.emitted == 2
+
+
+def test_detach_all():
+    bus = TapBus()
+    seen = []
+    bus.attach_global(seen.append)
+    bus.detach_all()
+    bus.emit(make_event())
+    assert not seen
+
+
+def test_str_rendering():
+    text = str(make_event())
+    assert "GET" in text
+    assert "horizon->nova" in text

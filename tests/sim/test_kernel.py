@@ -1,0 +1,325 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        yield Timeout(5.0)
+        results.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [5.0]
+
+
+def test_timeout_delivers_value():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        value = yield Timeout(1.0, value="hello")
+        seen.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.5, lambda: None)
+
+
+def test_events_fire_in_timestamp_order():
+    sim = Simulator()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.schedule(delay, order.append, delay)
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_timestamp_fifo_order():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, True)
+    assert sim.run(until=5.0) == 5.0
+    assert not fired
+    sim.run()
+    assert fired
+
+
+def test_run_until_beyond_heap_advances_clock():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_nested_yield_from():
+    sim = Simulator()
+    log = []
+
+    def inner():
+        yield Timeout(1.0)
+        return "inner-done"
+
+    def outer():
+        result = yield from inner()
+        log.append((sim.now, result))
+
+    sim.spawn(outer())
+    sim.run()
+    assert log == [(1.0, "inner-done")]
+
+
+def test_process_return_value_via_wait():
+    sim = Simulator()
+    got = []
+
+    def child():
+        yield Timeout(2.0)
+        return 99
+
+    def parent():
+        child_proc = sim.spawn(child())
+        value = yield child_proc
+        got.append(value)
+
+    sim.spawn(parent())
+    sim.run()
+    assert got == [99]
+
+
+def test_event_succeed_resumes_waiters():
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append(value)
+
+    sim.spawn(waiter())
+    sim.schedule(3.0, gate.succeed, "fired")
+    sim.run()
+    assert seen == ["fired"]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.schedule(1.0, gate.fail, ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event().fail("not an exception")
+
+
+def test_already_fired_event_resumes_immediately():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed("early")
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == [(0.0, "early")]
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        values = yield AllOf([Timeout(1.0, "a"), Timeout(3.0, "b"), Timeout(2.0, "c")])
+        got.append((sim.now, values))
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [(3.0, ["a", "b", "c"])]
+
+
+def test_all_of_empty():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        values = yield AllOf([])
+        got.append(values)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [[]]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield AnyOf([Timeout(5.0, "slow"), Timeout(1.0, "fast")])
+        got.append((sim.now, value))
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [(1.0, "fast")]
+
+
+def test_interrupt_raises_in_process():
+    sim = Simulator()
+    caught = []
+
+    def victim():
+        try:
+            yield Timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((sim.now, interrupt.cause))
+
+    process = sim.spawn(victim())
+    sim.schedule(2.0, process.interrupt, "reason")
+    sim.run()
+    assert caught == [(2.0, "reason")]
+
+
+def test_kill_terminates_silently():
+    sim = Simulator()
+    ran = []
+
+    def victim():
+        yield Timeout(100.0)
+        ran.append(True)
+
+    process = sim.spawn(victim())
+    sim.schedule(1.0, process.kill)
+    sim.run()
+    assert not ran
+    assert not process.alive
+
+
+def test_orphan_crash_surfaces():
+    sim = Simulator()
+
+    def crasher():
+        yield Timeout(1.0)
+        raise RuntimeError("unobserved crash")
+
+    sim.spawn(crasher())
+    with pytest.raises(RuntimeError, match="unobserved crash"):
+        sim.run()
+
+
+def test_watched_crash_propagates_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def crasher():
+        yield Timeout(1.0)
+        raise RuntimeError("observed crash")
+
+    def watcher():
+        try:
+            yield sim.spawn(crasher())
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(watcher())
+    sim.run()
+    assert caught == ["observed crash"]
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Process(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_invalid_object_crashes_process():
+    sim = Simulator()
+
+    def proc():
+        yield 42
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.pending == 0
+
+
+def test_many_processes_complete():
+    sim = Simulator()
+    done = []
+
+    def worker(index):
+        yield Timeout(index * 0.1)
+        done.append(index)
+
+    for index in range(100):
+        sim.spawn(worker(index))
+    sim.run()
+    assert sorted(done) == list(range(100))

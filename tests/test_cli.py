@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_suite_command(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "1200 tests" in out
+    assert "compute    517" in out
+
+
+def test_demo_rejects_unknown_scenario(capsys):
+    assert main(["demo", "bogus"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_evaluate_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["evaluate", "fig99"])
+
+
+def test_demo_scenario_runs(full_character, capsys):
+    # full_character warms the on-disk cache the CLI will read.
+    assert main(["demo", "linuxbridge_failure"]) == 0
+    out = capsys.readouterr().out
+    assert "[PASS] linuxbridge_failure" in out
+
+
+def test_evaluate_table1(full_character, capsys):
+    assert main(["evaluate", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "compute" in out

@@ -1,0 +1,82 @@
+"""Tests for the ASCII chart renderers."""
+
+from hypothesis import given, strategies as st
+
+from repro.reporting import render_bars, render_cdf, render_series
+
+
+def test_series_empty():
+    assert "(no data)" in render_series([], label="x")
+
+
+def test_series_renders_shape():
+    points = [(float(x), 0.0 if x < 50 else 1.0) for x in range(100)]
+    text = render_series(points, width=20, label="step")
+    lines = text.splitlines()
+    chart = lines[1].strip("|")
+    # Low at the start, high at the end.
+    assert chart[0] == " " or chart[0] in "▁▂"
+    assert chart[-1] == "█"
+
+
+def test_series_markers():
+    points = [(float(x), 1.0) for x in range(100)]
+    text = render_series(points, width=10, markers=[0.0, 99.0])
+    marker_line = text.splitlines()[2].strip("|")
+    assert marker_line[0] == "^"
+    assert marker_line[-1] == "^"
+
+
+def test_series_constant_values():
+    points = [(float(x), 5.0) for x in range(10)]
+    text = render_series(points, label="flat")
+    assert "[5 .. 5]" in text
+
+
+def test_cdf_rows_per_series():
+    text = render_cdf({"a": [0.1, 0.2], "b": [0.9]})
+    assert text.count("|") == 4  # two data rows, two pipes each
+    assert "a" in text and "b" in text
+
+
+def test_cdf_skips_empty_series():
+    text = render_cdf({"a": [], "b": [0.5]})
+    assert " a " not in text
+
+
+def test_cdf_full_fraction_at_range_end():
+    text = render_cdf({"x": [0.0]}, width=10)
+    row = text.splitlines()[0]
+    assert row.strip().endswith("█|")
+
+
+def test_bars_scaling_and_labels():
+    text = render_bars([("alpha", 10.0), ("b", 5.0)], width=10, unit="ms")
+    lines = text.splitlines()
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+    assert "10ms" in lines[0]
+
+
+def test_bars_empty():
+    assert render_bars([]) == "(no data)"
+
+
+def test_bars_zero_values():
+    text = render_bars([("zero", 0.0), ("one", 1.0)])
+    assert "zero" in text
+
+
+@given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                          st.floats(0, 10, allow_nan=False)),
+                min_size=1, max_size=200))
+def test_series_never_crashes(points):
+    text = render_series(points, width=30)
+    assert "|" in text
+
+
+@given(st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                       st.lists(st.floats(0, 1, allow_nan=False), max_size=50),
+                       max_size=3))
+def test_cdf_never_crashes(series):
+    render_cdf(series)

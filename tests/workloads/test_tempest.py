@@ -1,0 +1,75 @@
+"""Tests for the generated Tempest-like suite."""
+
+import random
+
+from repro.workloads.tempest import CATEGORY_COUNTS, TOTAL_TESTS, build_suite
+from repro.workloads.templates import all_templates, by_category
+
+
+def test_total_is_1200():
+    assert TOTAL_TESTS == 1200
+    assert len(build_suite()) == 1200
+
+
+def test_category_mix_matches_table1(suite):
+    for category, expected in CATEGORY_COUNTS.items():
+        assert len(suite.of_category(category)) == expected
+
+
+def test_test_ids_unique(suite):
+    ids = [t.test_id for t in suite.tests]
+    assert len(ids) == len(set(ids))
+
+
+def test_build_is_deterministic():
+    a = build_suite(seed=3)
+    b = build_suite(seed=3)
+    assert [t.test_id for t in a.tests] == [t.test_id for t in b.tests]
+    assert [t.name for t in a.tests] == [t.name for t in b.tests]
+
+
+def test_by_id_lookup(suite):
+    test = suite.tests[17]
+    assert suite.by_id(test.test_id) is test
+
+
+def test_sample_respects_population(suite):
+    rng = random.Random(0)
+    sample = suite.sample(200, rng)
+    assert len(sample) == 200
+    assert all(t in suite.tests for t in sample)
+
+
+def test_variants_within_template_differ(suite):
+    from collections import defaultdict
+
+    variants = defaultdict(set)
+    for test in suite.tests:
+        variants[test.template.name].add(tuple(sorted(test.variant.items(),
+                                                      key=str)))
+    # Every template contributes at least two distinct variants when it
+    # appears more than twice.
+    from collections import Counter
+
+    counts = Counter(t.template.name for t in suite.tests)
+    for name, count in counts.items():
+        if count >= 3:
+            assert len(variants[name]) >= 2, name
+
+
+def test_template_variant_decoding():
+    for template in all_templates():
+        v0 = template.variant(0)
+        assert set(v0) == set(template.knobs)
+        # Index wraps modulo the variant space.
+        assert template.variant(template.variant_count) == v0
+
+
+def test_all_categories_have_templates():
+    for category in CATEGORY_COUNTS:
+        assert by_category(category), category
+
+
+def test_every_template_used(suite):
+    used = {t.template.name for t in suite.tests}
+    assert used == {t.name for t in all_templates()}

@@ -1,0 +1,70 @@
+"""Tests for the operation-template framework."""
+
+import pytest
+
+from repro.workloads.templates import Template, all_templates, by_category
+
+
+def test_all_templates_unique_names():
+    names = [t.name for t in all_templates()]
+    assert len(names) == len(set(names))
+
+
+def test_variant_count_is_knob_product():
+    template = Template(
+        name="t", category="misc", script=lambda c, v: iter(()),
+        knobs={"a": [1, 2], "b": [True, False, None]},
+    )
+    assert template.variant_count == 6
+
+
+def test_variant_decoding_covers_space():
+    template = Template(
+        name="t", category="misc", script=lambda c, v: iter(()),
+        knobs={"a": [1, 2], "b": ["x", "y", "z"]},
+    )
+    seen = {tuple(sorted(template.variant(i).items()))
+            for i in range(template.variant_count)}
+    assert len(seen) == 6
+
+
+def test_negative_variant_index_rejected():
+    template = Template(name="t", category="misc",
+                        script=lambda c, v: iter(()), knobs={"a": [1]})
+    with pytest.raises(IndexError):
+        template.variant(-1)
+
+
+def test_templates_have_sane_knobs():
+    for template in all_templates():
+        assert template.variant_count >= 1
+        for knob, values in template.knobs.items():
+            assert len(values) >= 1, (template.name, knob)
+
+
+def test_category_partition():
+    total = sum(len(by_category(c))
+                for c in ("compute", "image", "network", "storage", "misc"))
+    assert total == len(all_templates())
+
+
+def test_compute_families_have_disjoint_style_markers():
+    """Each compute scenario family fixes its style and fixture marker."""
+    for template in by_category("compute"):
+        assert len(template.knobs["style"]) == 1
+        assert len(template.knobs["family_marker"]) == 1
+
+
+def test_compute_setup_extras_are_multi_valued():
+    for template in by_category("compute"):
+        assert len(template.knobs["setup_extra"]) >= 6
+
+
+def test_variant_space_supports_suite_targets():
+    from repro.workloads.tempest import CATEGORY_COUNTS
+
+    for category, target in CATEGORY_COUNTS.items():
+        space = sum(t.variant_count for t in by_category(category))
+        # Wrapping duplicates are allowed but the space should carry a
+        # meaningful share of distinct variants.
+        assert space >= target / 4, category

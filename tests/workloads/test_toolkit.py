@@ -1,0 +1,156 @@
+"""Tests for the operation-scripting toolkit."""
+
+import pytest
+
+from repro.openstack.cloud import Cloud
+from repro.openstack.config import CloudConfig
+from repro.workloads.toolkit import OpenStackClient, OperationFailed
+
+
+@pytest.fixture()
+def client_and_cloud():
+    cloud = Cloud(seed=11, config=CloudConfig(heartbeats_enabled=False))
+    ctx = cloud.client_context(caller="tempest", op_id="op-test")
+    return OpenStackClient(cloud, ctx), cloud
+
+
+def run(cloud, generator):
+    result = []
+
+    def proc():
+        value = yield from generator
+        result.append(value)
+
+    process = cloud.sim.spawn(proc())
+    cloud.run_until([process])
+    return result[0]
+
+
+def test_create_image_returns_id(client_and_cloud):
+    client, cloud = client_and_cloud
+    image_id = run(cloud, client.create_image(size_gb=1.0))
+    assert cloud.db.peek("glance:images", image_id)["status"] == "active"
+
+
+def test_create_image_without_upload(client_and_cloud):
+    client, cloud = client_and_cloud
+    image_id = run(cloud, client.create_image(upload=False))
+    assert cloud.db.peek("glance:images", image_id)["status"] == "queued"
+
+
+def test_create_server_waits_for_active(client_and_cloud):
+    client, cloud = client_and_cloud
+
+    def scenario():
+        image_id = yield from client.create_image()
+        network_id = yield from client.create_network()
+        server_id = yield from client.create_server(image_id, network_id)
+        return server_id
+
+    server_id = run(cloud, scenario())
+    assert cloud.db.peek("nova:servers", server_id)["status"] == "ACTIVE"
+
+
+def test_failed_boot_raises_operation_failed(client_and_cloud):
+    client, cloud = client_and_cloud
+    cloud.faults.crash_everywhere("nova-compute")
+
+    def scenario():
+        image_id = yield from client.create_image()
+        yield from client.create_server(image_id)
+
+    with pytest.raises(OperationFailed, match="500"):
+        run(cloud, scenario())
+
+
+def test_error_response_raises(client_and_cloud):
+    client, cloud = client_and_cloud
+    with pytest.raises(OperationFailed, match="404"):
+        run(cloud, client.rest("glance", "GET", "/v2/images/{id}",
+                               {"id": "missing"}))
+
+
+def test_rest_allow_error_returns_response(client_and_cloud):
+    client, cloud = client_and_cloud
+    response = run(cloud, client.rest_allow_error(
+        "glance", "GET", "/v2/images/{id}", {"id": "missing"}))
+    assert response.status == 404
+
+
+def test_delete_server_waits_without_404s(client_and_cloud):
+    client, cloud = client_and_cloud
+    events = []
+    cloud.taps.attach_global(events.append)
+
+    def scenario():
+        image_id = yield from client.create_image()
+        server_id = yield from client.create_server(image_id)
+        yield from client.delete_server(server_id)
+
+    run(cloud, scenario())
+    # Routine teardown must not put REST errors on the wire.
+    assert all(not e.error for e in events)
+
+
+def test_volume_lifecycle(client_and_cloud):
+    client, cloud = client_and_cloud
+
+    def scenario():
+        volume_id = yield from client.create_volume(size_gb=2.0)
+        yield from client.delete_volume(volume_id)
+        return volume_id
+
+    volume_id = run(cloud, scenario())
+    cloud.settle(1.0)
+    assert cloud.db.peek("cinder:volumes", volume_id) is None
+
+
+def test_attach_detach_volume(client_and_cloud):
+    client, cloud = client_and_cloud
+
+    def scenario():
+        image_id = yield from client.create_image()
+        server_id = yield from client.create_server(image_id)
+        volume_id = yield from client.create_volume()
+        yield from client.attach_volume(server_id, volume_id)
+        attached = cloud.db.peek("cinder:volumes", volume_id)["status"]
+        yield from client.detach_volume(server_id, volume_id)
+        detached = cloud.db.peek("cinder:volumes", volume_id)["status"]
+        return attached, detached
+
+    attached, detached = run(cloud, scenario())
+    assert attached == "in-use"
+    assert detached == "available"
+
+
+def test_wait_server_times_out_on_stuck_instance(client_and_cloud):
+    """A stuck VM create (paper §8 limitation 2): polls run out."""
+    client, cloud = client_and_cloud
+    # Fabricate an instance that never leaves BUILD (no build cast was
+    # ever published for it).
+    record = {"id": "srv-stuck", "name": "x", "tenant": "op-test",
+              "status": "BUILD", "node": None, "image": "i",
+              "network": "n", "flavor": "f", "fault": None,
+              "ports": [], "volumes": []}
+    cloud.db._tables.setdefault("nova:servers", {})["srv-stuck"] = record
+
+    with pytest.raises(OperationFailed, match="timed out"):
+        run(cloud, client.wait_server("srv-stuck", "ACTIVE"))
+
+
+def test_wait_volume_poll_error_raises(client_and_cloud):
+    client, cloud = client_and_cloud
+    cloud.faults.crash_process("cinder-node", "cinder-volume")
+
+    def scenario():
+        yield from client.create_volume()
+
+    with pytest.raises(OperationFailed, match="500"):
+        run(cloud, scenario())
+
+
+def test_create_network_without_subnet(client_and_cloud):
+    client, cloud = client_and_cloud
+    network_id = run(cloud, client.create_network(with_subnet=False))
+    assert cloud.db.count("neutron:subnets") == 0
+    run(cloud, client.delete_network(network_id))
