@@ -1,0 +1,105 @@
+"""Pass 2 — truncation reachability.
+
+Algorithm 2 truncates every candidate fingerprint at the *last*
+occurrence of the offending API before matching.  For that cut to be
+matchable at all, the resulting prefix must contain at least one
+state-change literal — the relaxed matcher scores state-change symbol
+order only, so a reads-only prefix corroborates nothing and the
+operation is invisible to faults at that API.
+
+Rules
+-----
+``TRN001`` (info)
+    Truncating at some symbol of the fingerprint yields a prefix with
+    zero state-change literals.  A fault striking that API can never be
+    attributed to this operation.  Info severity: the blind spot is
+    inherent to Alg. 2 (the operation simply had not changed state yet)
+    and pervasive in any real library, but the witness list tells an
+    operator exactly which APIs are uncovered.
+``TRN002`` (info)
+    Truncating at the fingerprint's first state-change symbol yields a
+    single-literal prefix.  A one-symbol cut reaches coverage 1.0 from
+    any single occurrence in the buffer, so matches at that truncation
+    point carry almost no evidence.
+
+Pure-read fingerprints are excluded here; the detector scores them on
+their full symbol sequence (DESIGN.md §5b) and the regex pass reports
+them as RGX002.
+"""
+
+from __future__ import annotations
+
+from itertools import accumulate
+from typing import List
+
+from repro.analysis.context import LintContext
+from repro.analysis.findings import Finding, Severity
+
+PASS_NAME = "truncation"
+
+
+def run(ctx: LintContext) -> List[Finding]:
+    """Emit TRN findings, aggregated per fingerprint shape."""
+    findings: List[Finding] = []
+    for symbols, operations in sorted(
+        ctx.symbol_classes().items(), key=lambda item: sorted(item[1])[0]
+    ):
+        fingerprint = ctx.fingerprint_of(sorted(operations)[0])
+        mask = fingerprint.state_change_mask
+        if not any(mask):
+            continue  # pure-read: handled as RGX002
+        # prefix_sc[i] = state-change literals in symbols[:i]
+        prefix_sc = [0] + list(accumulate(1 if sc else 0 for sc in mask))
+        degenerate: List[str] = []
+        for symbol in sorted(set(symbols)):
+            last = symbols.rfind(symbol)
+            if prefix_sc[last + 1] == 0:
+                degenerate.append(symbol)
+        if degenerate:
+            findings.append(Finding(
+                rule="TRN001",
+                severity=Severity.INFO,
+                pass_name=PASS_NAME,
+                location=f"fingerprint:{sorted(operations)[0]}",
+                message=(
+                    f"truncation at {len(degenerate)} of the "
+                    f"fingerprint's symbols leaves no state-change "
+                    f"literal; faults at those APIs cannot be "
+                    f"attributed to these {len(operations)} operation(s)"
+                ),
+                witness=ctx.sample_ops(operations)
+                + ctx.api_labels("".join(degenerate)),
+                fix_hint=(
+                    "acceptable if those APIs are fault-injected only "
+                    "after a state change elsewhere; otherwise move a "
+                    "state-change API earlier in the operation"
+                ),
+            ))
+        first_sc_index = mask.index(True)
+        first_sc_symbol = symbols[first_sc_index]
+        # The cut at the first state-change symbol's *last* occurrence
+        # is single-literal only if that symbol never recurs later and
+        # no other state-change literal precedes it.
+        if (
+            prefix_sc[symbols.rfind(first_sc_symbol) + 1] == 1
+            and sum(1 for s in symbols if s == first_sc_symbol) == 1
+        ):
+            findings.append(Finding(
+                rule="TRN002",
+                severity=Severity.INFO,
+                pass_name=PASS_NAME,
+                location=f"fingerprint:{sorted(operations)[0]}",
+                message=(
+                    "truncation at the first state-change API yields a "
+                    "single-literal prefix; a match at that cut point "
+                    "is satisfied by any lone occurrence in the buffer"
+                ),
+                witness=ctx.sample_ops(operations)
+                + (ctx.api_label(first_sc_symbol),),
+                fix_hint=(
+                    "rely on snapshot pruning (length_tolerance) to "
+                    "discount single-literal matches, or start the "
+                    "operation with a more distinctive state change"
+                ),
+            ))
+    return findings

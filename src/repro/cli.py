@@ -12,6 +12,9 @@ Commands
     Regenerate one table/figure of §7 and print it.
 ``suite``
     Describe the generated Tempest-like suite.
+``lint``
+    Statically verify the fingerprint library, symbol table, catalog
+    and config (five analysis passes; see ``docs/linting.md``).
 """
 
 from __future__ import annotations
@@ -117,6 +120,70 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import LintContext, render_json, render_text, run_lint
+    from repro.analysis.engine import PASSES
+    from repro.core.config import GretelConfig
+    from repro.core.fingerprint import FingerprintLibrary
+    from repro.core.symbols import SymbolTable
+    from repro.openstack.catalog import default_catalog
+
+    passes = None
+    if args.passes:
+        passes = [name.strip() for name in args.passes.split(",") if name.strip()]
+        unknown = [name for name in passes if name not in PASSES]
+        if unknown:
+            print(
+                f"unknown lint pass(es): {', '.join(unknown)}; choose from: "
+                f"{', '.join(PASSES)}", file=sys.stderr,
+            )
+            return 2
+
+    catalog = default_catalog()
+    groups = None
+    if args.library:
+        try:
+            with open(args.library, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read library {args.library!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        symbols = SymbolTable(catalog)
+        library = FingerprintLibrary.from_dict(data, symbols)
+    else:
+        from repro.evaluation.common import default_characterization, default_suite
+
+        character = default_characterization(
+            seed=args.seed, iterations=args.iterations,
+            use_disk_cache=not args.no_cache,
+        )
+        library = character.library
+        symbols = library.symbols
+        # Tests instantiated from one workload template intentionally
+        # share a fingerprint shape; group them so the ambiguity pass
+        # reports only cross-template confusability.
+        groups = {
+            test.test_id: test.template.name
+            for test in default_suite(args.seed).tests
+        }
+
+    ctx = LintContext(
+        library=library, symbols=symbols, catalog=catalog,
+        config=GretelConfig(), operation_groups=groups,
+    )
+    if args.max_symbols is not None:
+        ctx.max_symbols = args.max_symbols
+    report = run_lint(ctx, passes)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(strict=args.strict)
+
+
 EXPERIMENTS = ("table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c",
                "fig8a", "fig8b", "fig8c", "overhead", "hansel")
 
@@ -153,6 +220,35 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("evaluate", help="regenerate a table/figure")
     evaluate.add_argument("experiment", choices=EXPERIMENTS)
     evaluate.set_defaults(handler=_cmd_evaluate)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify the fingerprint library (5 analysis passes)",
+    )
+    lint.add_argument(
+        "--library", metavar="FILE",
+        help="lint a serialized fingerprint-library JSON instead of the "
+             "characterized suite",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too (default: errors only)",
+    )
+    lint.add_argument(
+        "--passes", metavar="P1,P2",
+        help="comma-separated subset of passes "
+             "(ambiguity, truncation, integrity, regex, noise-config)",
+    )
+    lint.add_argument(
+        "--max-symbols", type=int, default=None, metavar="N",
+        help="override the symbol-space capacity checked by the "
+             "integrity pass (capacity planning / testing)",
+    )
+    lint.add_argument("--seed", type=int, default=0)
+    lint.add_argument("--iterations", type=int, default=2)
+    lint.add_argument("--no-cache", action="store_true")
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

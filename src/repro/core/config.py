@@ -9,7 +9,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 
 @dataclass
@@ -116,3 +116,73 @@ class GretelConfig:
     def context_buffer_step(self, alpha: int) -> int:
         """δ = c2·α (at least 1 message)."""
         return max(1, int(self.c2 * alpha))
+
+    def invariants(self, library_fp_max: int = 0) -> List[Tuple[str, str]]:
+        """Symbolic α/β/δ/θ sizing checks (CFG rules of ``repro lint``).
+
+        Returns ``(code, message)`` pairs for every violated invariant:
+        α = 2·max{FP_max, P_rate·t} must be positive and hold the
+        largest fingerprint; β = c1·α and δ = c2·α require
+        ``0 < c1 ≤ 1`` and ``0 < c2 ≤ 1``; the match-coverage threshold
+        must be a usable fraction.  ``library_fp_max`` is the size of
+        the largest fingerprint actually in the library.
+        """
+        violations: List[Tuple[str, str]] = []
+        alpha = self.sliding_window_size(library_fp_max)
+        if alpha <= 0:
+            violations.append((
+                "alpha-positive",
+                f"sliding window α = {alpha} is not positive "
+                f"(alpha={self.alpha!r}, fp_max={self.fp_max!r}, "
+                f"p_rate={self.p_rate}, t={self.t})",
+            ))
+        elif alpha < 2 * library_fp_max:
+            violations.append((
+                "alpha-fp-max",
+                f"sliding window α = {alpha} cannot hold two copies of "
+                f"the largest fingerprint ({library_fp_max} symbols); "
+                "α = 2·max{FP_max, P_rate·t} requires α ≥ 2·FP_max",
+            ))
+        if self.fp_max is not None and self.fp_max < library_fp_max:
+            violations.append((
+                "fp-max-override",
+                f"fp_max override {self.fp_max} is smaller than the "
+                f"library's largest fingerprint ({library_fp_max})",
+            ))
+        if not 0.0 < self.c1 <= 1.0:
+            violations.append((
+                "c1-range",
+                f"c1 = {self.c1} outside (0, 1]: β = c1·α must be a "
+                "positive fraction of the window",
+            ))
+        if not 0.0 < self.c2 <= 1.0:
+            violations.append((
+                "c2-range",
+                f"c2 = {self.c2} outside (0, 1]: δ = c2·α must be a "
+                "positive fraction of the window",
+            ))
+        if alpha > 0 and 0.0 < self.c1 <= 1.0:
+            beta = self.context_buffer_start(alpha)
+            if beta > alpha:
+                violations.append((
+                    "beta-bounded",
+                    f"context buffer start β = {beta} exceeds the "
+                    f"window α = {alpha}",
+                ))
+        if not 0.0 < self.match_coverage <= 1.0:
+            violations.append((
+                "coverage-range",
+                f"match_coverage = {self.match_coverage} outside (0, 1]",
+            ))
+        if self.stop_patience < 1:
+            violations.append((
+                "stop-patience",
+                f"stop_patience = {self.stop_patience} must be ≥ 1 for "
+                "the θ-drop stopping rule to terminate",
+            ))
+        if self.length_tolerance < 0:
+            violations.append((
+                "length-tolerance",
+                f"length_tolerance = {self.length_tolerance} must be ≥ 0",
+            ))
+        return violations

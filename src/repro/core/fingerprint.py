@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.openstack.apis import ApiKind
+from repro.openstack.apis import Api, ApiKind
 from repro.openstack.catalog import ApiCatalog
 from repro.core.symbols import SymbolTable
 
@@ -40,23 +40,71 @@ from repro.core.symbols import SymbolTable
 # Noise filtering
 # ---------------------------------------------------------------------------
 
-def filter_noise(api_keys: Sequence[str], catalog: ApiCatalog) -> List[str]:
+@dataclass(frozen=True)
+class NoiseRule:
+    """One declarative noise-filter rule.
+
+    ``applies`` decides per-API whether the rule can act on it.  Drop
+    rules remove every matching message; the collapse rule only removes
+    *repeat* occurrences, so it is kept out of :data:`NOISE_DROP_RULES`
+    and applied statefully inside :func:`filter_noise`.  Keeping the
+    rules declarative lets ``repro lint`` prove each one can still fire
+    against the catalog (rule NSE001).
+    """
+
+    rule_id: str
+    description: str
+    applies: Callable[[Api], bool]
+
+
+#: Rules that drop every matching message outright.
+NOISE_DROP_RULES: Tuple[NoiseRule, ...] = (
+    NoiseRule(
+        "noise-flag",
+        "periodic heartbeats, status reports and token round trips "
+        "flagged as noise in the catalog",
+        lambda api: api.noise,
+    ),
+    NoiseRule(
+        "keystone-rest",
+        "Keystone REST authentication traffic",
+        lambda api: api.kind is ApiKind.REST and api.service == "keystone",
+    ),
+)
+
+#: The stateful rule collapsing runs of one idempotent read.
+READ_COLLAPSE_RULE = NoiseRule(
+    "read-collapse",
+    "repeat occurrences of the same idempotent read (status-poll GET "
+    "loops become a single occurrence)",
+    lambda api: api.idempotent_read,
+)
+
+#: Every noise rule, for introspection by the lint noise-config pass.
+ALL_NOISE_RULES: Tuple[NoiseRule, ...] = NOISE_DROP_RULES + (READ_COLLAPSE_RULE,)
+
+
+def filter_noise(api_keys: Optional[Sequence[str]], catalog: ApiCatalog) -> List[str]:
     """Remove messages that carry no operation-identifying signal.
 
-    Drops APIs flagged as noise (heartbeats, status reports, token
-    issue/validate), all Keystone REST traffic, and collapses *runs* of
-    the same idempotent read (status-poll GET loops become a single
-    occurrence).
+    Applies :data:`NOISE_DROP_RULES` (heartbeats, status reports, token
+    issue/validate, all Keystone REST traffic) and collapses *runs* of
+    the same idempotent read per :data:`READ_COLLAPSE_RULE`.
+
+    Degenerate traces are handled explicitly: an empty (or ``None``)
+    trace and a trace consisting entirely of noise both yield ``[]``,
+    so downstream LCS sees a well-formed empty sequence rather than an
+    edge-case error.
     """
+    if not api_keys:
+        return []
     filtered: List[str] = []
     previous: Optional[str] = None
     for key in api_keys:
         api = catalog.get(key)
-        if api.noise:
+        if any(rule.applies(api) for rule in NOISE_DROP_RULES):
             continue
-        if api.kind is ApiKind.REST and api.service == "keystone":
-            continue
-        if api.idempotent_read and key == previous:
+        if READ_COLLAPSE_RULE.applies(api) and key == previous:
             continue
         filtered.append(key)
         previous = key
@@ -324,10 +372,52 @@ class FingerprintLibrary:
         previous = self._fingerprints.get(fingerprint.operation)
         if previous is not None:
             for symbol in set(previous.symbols):
-                self._containing.get(symbol, set()).discard(fingerprint.operation)
+                names = self._containing.get(symbol)
+                if names is None:
+                    continue
+                names.discard(fingerprint.operation)
+                if not names:
+                    del self._containing[symbol]
         self._fingerprints[fingerprint.operation] = fingerprint
         for symbol in set(fingerprint.symbols):
             self._containing.setdefault(symbol, set()).add(fingerprint.operation)
+
+    def check_index(self) -> List[str]:
+        """Consistency check of the per-symbol inverted index.
+
+        Returns human-readable descriptions of every inconsistency —
+        a symbol indexed to an operation that no longer exists or whose
+        fingerprint lacks the symbol, an empty index entry, or a
+        fingerprint symbol missing from the index.  A sound library
+        returns ``[]``; the lint integrity pass turns anything else
+        into SYM004 errors.
+        """
+        problems: List[str] = []
+        for symbol, names in sorted(self._containing.items()):
+            if not names:
+                problems.append(
+                    f"index entry U+{ord(symbol):04X} maps to no operation"
+                )
+            for name in sorted(names):
+                fingerprint = self._fingerprints.get(name)
+                if fingerprint is None:
+                    problems.append(
+                        f"index entry U+{ord(symbol):04X} references "
+                        f"unknown operation {name!r}"
+                    )
+                elif symbol not in fingerprint.symbols:
+                    problems.append(
+                        f"index entry U+{ord(symbol):04X} references "
+                        f"{name!r} whose fingerprint lacks the symbol"
+                    )
+        for name, fingerprint in sorted(self._fingerprints.items()):
+            for symbol in set(fingerprint.symbols):
+                if name not in self._containing.get(symbol, set()):
+                    problems.append(
+                        f"fingerprint {name!r} symbol U+{ord(symbol):04X} "
+                        "is missing from the inverted index"
+                    )
+        return problems
 
     def get(self, operation: str) -> Fingerprint:
         """Fingerprint by operation name."""

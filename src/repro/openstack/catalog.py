@@ -586,6 +586,11 @@ class ApiCatalog:
         """All RPC APIs, in build order."""
         return [api for api in self.apis if api.kind is ApiKind.RPC]
 
+    @property
+    def noise_apis(self) -> List[Api]:
+        """APIs flagged as noise (never part of a fingerprint)."""
+        return [api for api in self.apis if api.noise]
+
     def of_service(self, service: str) -> List[Api]:
         """All APIs implemented by ``service``."""
         return [api for api in self.apis if api.service == service]

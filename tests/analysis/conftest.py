@@ -1,0 +1,71 @@
+"""Shared fixtures for the static-analyzer tests."""
+
+from typing import Sequence
+
+import pytest
+
+from repro.analysis import LintContext
+from repro.core.fingerprint import Fingerprint, FingerprintLibrary
+from repro.core.symbols import SymbolTable
+from repro.openstack.catalog import ApiCatalog, default_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog() -> ApiCatalog:
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def symbols(catalog) -> SymbolTable:
+    return SymbolTable(catalog)
+
+
+@pytest.fixture(scope="session")
+def state_change_keys(catalog):
+    """Plenty of distinct non-noise state-change API keys."""
+    return [
+        api.key for api in catalog.apis
+        if api.state_change and not api.noise
+    ]
+
+
+@pytest.fixture(scope="session")
+def read_keys(catalog):
+    """Distinct non-noise, non-keystone read API keys."""
+    return [
+        api.key for api in catalog.apis
+        if api.idempotent_read and not api.noise
+        and api.service != "keystone"
+    ]
+
+
+@pytest.fixture()
+def make_fingerprint(symbols, catalog):
+    """Build a Fingerprint from API keys (mask from the catalog)."""
+
+    def build(operation: str, api_keys: Sequence[str], **kwargs) -> Fingerprint:
+        return Fingerprint(
+            operation=operation,
+            symbols=symbols.encode(api_keys),
+            state_change_mask=tuple(
+                catalog.get(key).state_change for key in api_keys
+            ),
+            **kwargs,
+        )
+
+    return build
+
+
+@pytest.fixture()
+def make_context(symbols, catalog):
+    """Build a LintContext around a list of fingerprints."""
+
+    def build(fingerprints, **kwargs) -> LintContext:
+        library = FingerprintLibrary(symbols)
+        for fingerprint in fingerprints:
+            library.add(fingerprint)
+        return LintContext(
+            library=library, symbols=symbols, catalog=catalog, **kwargs
+        )
+
+    return build

@@ -1,0 +1,90 @@
+"""Ambiguity pass: equal and subsumed state-change sequences."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import ambiguity
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_deliberately_ambiguous_pair_is_flagged(
+    make_fingerprint, make_context, state_change_keys
+):
+    short = make_fingerprint("op-short", state_change_keys[:3])
+    long_ = make_fingerprint("op-long", state_change_keys[:6])
+    findings = ambiguity.run(make_context([short, long_]))
+    assert "AMB002" in _rules(findings)
+    subsumption = next(f for f in findings if f.rule == "AMB002")
+    assert subsumption.location == "fingerprint:op-short"
+    assert "op-long" in subsumption.witness
+    # Witnesses are decoded to human-readable API names, not symbols.
+    assert any(w.startswith(("POST", "PUT", "DELETE", "rpc"))
+               for w in subsumption.witness)
+
+
+def test_identical_sequences_flagged_across_groups(
+    make_fingerprint, make_context, state_change_keys
+):
+    a = make_fingerprint("op-a", state_change_keys[:4])
+    b = make_fingerprint("op-b", state_change_keys[:4])
+    findings = ambiguity.run(make_context([a, b]))
+    assert _rules(findings) == ["AMB001"]
+
+
+def test_same_group_ambiguity_suppressed(
+    make_fingerprint, make_context, state_change_keys
+):
+    a = make_fingerprint("op-a", state_change_keys[:4])
+    b = make_fingerprint("op-b", state_change_keys[:4])
+    c = make_fingerprint("op-c", state_change_keys[:8])
+    ctx = make_context(
+        [a, b, c],
+        operation_groups={"op-a": "tmpl", "op-b": "tmpl", "op-c": "tmpl"},
+    )
+    assert ambiguity.run(ctx) == []
+
+
+def test_distinct_sequences_are_clean(
+    make_fingerprint, make_context, state_change_keys
+):
+    # Disjoint alphabets: neither subsumes the other.
+    a = make_fingerprint("op-a", state_change_keys[:4])
+    b = make_fingerprint("op-b", state_change_keys[4:8])
+    assert ambiguity.run(make_context([a, b])) == []
+
+
+def test_is_subsequence():
+    assert ambiguity.is_subsequence("", "abc")
+    assert ambiguity.is_subsequence("ac", "abc")
+    assert not ambiguity.is_subsequence("ca", "abc")
+    assert not ambiguity.is_subsequence("abcd", "abc")
+
+
+# The builder fixtures are stateless factories, so reuse across
+# generated examples is safe.
+@settings(suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_any_embedded_subsequence_is_flagged(
+    data, make_fingerprint, make_context, state_change_keys
+):
+    """Property: a fingerprint built by sampling a proper subsequence of
+    another's APIs is always reported by the subsumption rule."""
+    pool = state_change_keys[:12]
+    long_keys = data.draw(
+        st.lists(st.sampled_from(pool), min_size=3, max_size=10)
+    )
+    indexes = data.draw(
+        st.lists(
+            st.integers(0, len(long_keys) - 1),
+            min_size=1, max_size=len(long_keys) - 1, unique=True,
+        )
+    )
+    short_keys = [long_keys[i] for i in sorted(indexes)]
+    long_fp = make_fingerprint("op-long", long_keys)
+    short_fp = make_fingerprint("op-short", short_keys)
+    if short_fp.state_change_symbols == long_fp.state_change_symbols:
+        return  # equal, not proper subsumption: AMB001 territory
+    findings = ambiguity.run(make_context([long_fp, short_fp]))
+    assert "AMB002" in _rules(findings)

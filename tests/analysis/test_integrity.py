@@ -1,0 +1,59 @@
+"""Integrity pass: symbol-space overflow, bijectivity, index health."""
+
+from repro.analysis import integrity
+from repro.core.fingerprint import Fingerprint
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_clean_inputs_have_no_errors(
+    make_fingerprint, make_context, state_change_keys
+):
+    ctx = make_context([make_fingerprint("op", state_change_keys[:3])])
+    findings = integrity.run(ctx)
+    assert all(f.severity.label != "error" for f in findings)
+
+
+def test_pua_overflow_is_error(
+    make_fingerprint, make_context, state_change_keys
+):
+    ctx = make_context(
+        [make_fingerprint("op", state_change_keys[:3])], max_symbols=100
+    )
+    findings = integrity.run(ctx)
+    overflow = [f for f in findings if f.rule == "SYM001"]
+    assert len(overflow) == 1
+    assert overflow[0].severity.label == "error"
+    assert "100" in overflow[0].message
+
+
+def test_undecodable_symbol_is_error(make_context):
+    # A fingerprint carrying a symbol outside the table (e.g. encoded
+    # against a larger catalog than the current one).
+    rogue = Fingerprint("op-rogue", "", (True, True))
+    findings = integrity.run(make_context([rogue]))
+    assert "SYM003" in _rules(findings)
+    bad = next(f for f in findings if f.rule == "SYM003")
+    assert bad.location == "fingerprint:op-rogue"
+    assert any(w.startswith("U+") for w in bad.witness)
+
+
+def test_corrupted_inverted_index_is_error(
+    make_fingerprint, make_context, state_change_keys
+):
+    ctx = make_context([make_fingerprint("op", state_change_keys[:3])])
+    # Simulate an index corruption bug.
+    ctx.library._containing[""] = {"ghost-operation"}
+    findings = integrity.run(ctx)
+    assert "SYM004" in _rules(findings)
+
+
+def test_uncovered_apis_reported_as_info(
+    make_fingerprint, make_context, state_change_keys
+):
+    ctx = make_context([make_fingerprint("op", state_change_keys[:3])])
+    info = [f for f in integrity.run(ctx) if f.rule == "SYM005"]
+    assert len(info) == 1
+    assert info[0].severity.label == "info"

@@ -1,0 +1,105 @@
+"""Regex pass: star pathologies and the bounded step estimator."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import regexlint
+from repro.analysis.regexlint import estimate_matcher_steps
+from repro.core.fingerprint import Fingerprint
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_adjacent_identical_starred_reads_flagged(
+    make_fingerprint, make_context, state_change_keys, read_keys
+):
+    # write, read, read(same), write — the noise filter would have
+    # collapsed the read run, so its survival is a generation bug.
+    keys = [state_change_keys[0], read_keys[0], read_keys[0],
+            state_change_keys[1]]
+    findings = regexlint.run(make_context([make_fingerprint("op", keys)]))
+    assert "RGX001" in _rules(findings)
+
+
+def test_distinct_adjacent_reads_not_flagged(
+    make_fingerprint, make_context, state_change_keys, read_keys
+):
+    keys = [state_change_keys[0], read_keys[0], read_keys[1]]
+    findings = regexlint.run(make_context([make_fingerprint("op", keys)]))
+    assert "RGX001" not in _rules(findings)
+
+
+def test_pure_read_fingerprint_is_vacuous_warning(
+    make_fingerprint, make_context, read_keys
+):
+    findings = regexlint.run(
+        make_context([make_fingerprint("op", read_keys[:3])])
+    )
+    vacuous = [f for f in findings if f.rule == "RGX002"]
+    assert len(vacuous) == 1
+    assert vacuous[0].severity.label == "warning"
+
+
+def test_no_reads_means_strict_equals_relaxed(
+    make_fingerprint, make_context, state_change_keys
+):
+    findings = regexlint.run(
+        make_context([make_fingerprint("op", state_change_keys[:3])])
+    )
+    assert "RGX003" in _rules(findings)
+    assert "RGX002" not in _rules(findings)
+
+
+def test_step_budget_exceeded_flagged(
+    make_fingerprint, make_context, state_change_keys
+):
+    # 60 repetitions of one literal: multiplicity drives the estimate
+    # far past a tiny budget.
+    keys = [state_change_keys[0]] * 60
+    ctx = make_context([make_fingerprint("op", keys)], step_budget=10_000)
+    findings = regexlint.run(ctx)
+    assert "RGX004" in _rules(findings)
+
+
+def test_long_star_run_reported(
+    make_fingerprint, make_context, state_change_keys, read_keys
+):
+    keys = [state_change_keys[0]] + read_keys[:12] + [state_change_keys[1]]
+    ctx = make_context([make_fingerprint("op", keys)], star_run_threshold=12)
+    findings = regexlint.run(ctx)
+    assert "RGX005" in _rules(findings)
+
+
+def test_estimator_baseline_and_empty():
+    assert estimate_matcher_steps("", 1000) == 0
+    assert estimate_matcher_steps("abc", 0) == 0
+    # All-distinct literals: one linear pass.
+    assert estimate_matcher_steps("abc", 500) == 500
+
+
+@given(
+    literals=st.text(alphabet="abcd", max_size=40),
+    window=st.integers(min_value=0, max_value=10_000),
+)
+def test_estimator_properties(literals, window):
+    steps = estimate_matcher_steps(literals, window)
+    assert steps >= 0
+    # Never below one pass over the window (when there is work to do).
+    if literals and window:
+        assert steps >= window
+    # Monotone in the window size.
+    assert estimate_matcher_steps(literals, window + 100) >= steps
+
+
+def test_estimator_grows_with_multiplicity():
+    flat = estimate_matcher_steps("abcdef", 768)
+    spiky = estimate_matcher_steps("aaabcf", 768)
+    assert spiky > flat
+
+
+def test_vacuous_empty_fingerprint_ignored(make_context):
+    # Degenerate empty-symbols fingerprint must not crash the pass.
+    empty = Fingerprint("op-empty", "", ())
+    findings = regexlint.run(make_context([empty]))
+    assert "RGX002" not in _rules(findings)

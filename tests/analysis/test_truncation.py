@@ -1,0 +1,70 @@
+"""Truncation pass: reachability of truncate-at-last-occurrence cuts."""
+
+from repro.analysis import truncation
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_read_before_any_state_change_is_degenerate(
+    make_fingerprint, make_context, state_change_keys, read_keys
+):
+    # read, read, write, write: truncating at either read leaves a
+    # reads-only prefix.
+    keys = read_keys[:2] + state_change_keys[:2]
+    fp = make_fingerprint("op", keys)
+    findings = truncation.run(make_context([fp]))
+    trn1 = [f for f in findings if f.rule == "TRN001"]
+    assert len(trn1) == 1
+    assert "2 of" in trn1[0].message
+    assert "op" in trn1[0].witness
+
+
+def test_read_recurring_after_state_change_is_reachable(
+    make_fingerprint, make_context, state_change_keys, read_keys
+):
+    # read, write, read(same), write: the read's *last* occurrence sits
+    # after a state change, so its truncation prefix is sound.
+    keys = [read_keys[0], state_change_keys[0], read_keys[0],
+            state_change_keys[1]]
+    fp = make_fingerprint("op", keys)
+    findings = truncation.run(make_context([fp]))
+    assert "TRN001" not in _rules(findings)
+
+
+def test_single_literal_first_cut_reported(
+    make_fingerprint, make_context, state_change_keys, read_keys
+):
+    keys = [state_change_keys[0], read_keys[0], state_change_keys[1]]
+    fp = make_fingerprint("op", keys)
+    findings = truncation.run(make_context([fp]))
+    assert "TRN002" in _rules(findings)
+
+
+def test_repeated_first_literal_not_single(
+    make_fingerprint, make_context, state_change_keys
+):
+    # write-a, write-b, write-a: truncating at a's last occurrence
+    # keeps three literals.
+    keys = [state_change_keys[0], state_change_keys[1], state_change_keys[0]]
+    fp = make_fingerprint("op", keys)
+    assert "TRN002" not in _rules(truncation.run(make_context([fp])))
+
+
+def test_pure_read_fingerprints_skipped(
+    make_fingerprint, make_context, read_keys
+):
+    fp = make_fingerprint("op", read_keys[:3])
+    assert truncation.run(make_context([fp])) == []
+
+
+def test_identical_shapes_aggregate_into_one_finding(
+    make_fingerprint, make_context, state_change_keys, read_keys
+):
+    keys = read_keys[:1] + state_change_keys[:1]
+    fps = [make_fingerprint(f"op-{i}", keys) for i in range(5)]
+    findings = [f for f in truncation.run(make_context(fps))
+                if f.rule == "TRN001"]
+    assert len(findings) == 1
+    assert "5 operation(s)" in findings[0].message

@@ -72,6 +72,48 @@ def test_filter_does_not_collapse_state_changes(catalog):
     assert filter_noise([boot, boot], catalog) == [boot, boot]
 
 
+def test_filter_handles_empty_and_none_traces(catalog):
+    assert filter_noise([], catalog) == []
+    assert filter_noise(None, catalog) == []
+
+
+def test_filter_all_noise_trace_yields_empty(catalog):
+    heartbeat = catalog.find_rpc("nova", "report_state").key
+    auth = catalog.find_rest("keystone", "POST", "/v3/auth/tokens").key
+    assert filter_noise([heartbeat, auth, heartbeat], catalog) == []
+
+
+def test_generate_with_all_noise_traces_yields_empty_fingerprint(
+    catalog, symbols
+):
+    # All-noise traces must flow through LCS as clean empty sequences,
+    # not raise from inside the pipeline.
+    heartbeat = catalog.find_rpc("nova", "report_state").key
+    fp = generate_fingerprint(
+        "noisy-op", [[heartbeat], [heartbeat, heartbeat]], symbols, catalog
+    )
+    assert fp.symbols == ""
+    assert fp.state_change_mask == ()
+
+
+def test_noise_rules_registry_matches_filter_semantics(catalog):
+    from repro.core.fingerprint import ALL_NOISE_RULES, NOISE_DROP_RULES
+
+    assert [rule.rule_id for rule in ALL_NOISE_RULES] == [
+        "noise-flag", "keystone-rest", "read-collapse",
+    ]
+    # Every rule can fire against the default catalog (lint NSE001
+    # guards the same property).
+    for rule in ALL_NOISE_RULES:
+        assert any(rule.applies(api) for api in catalog.apis), rule.rule_id
+    heartbeat = catalog.find_rpc("nova", "report_state")
+    auth = catalog.find_rest("keystone", "POST", "/v3/auth/tokens")
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers")
+    assert any(rule.applies(heartbeat) for rule in NOISE_DROP_RULES)
+    assert any(rule.applies(auth) for rule in NOISE_DROP_RULES)
+    assert not any(rule.applies(boot) for rule in NOISE_DROP_RULES)
+
+
 # ---------------------------------------------------------------------------
 # LCS
 # ---------------------------------------------------------------------------
@@ -276,6 +318,18 @@ def test_library_replacement_updates_index(catalog, symbols):
     library.add(generate_fingerprint("op-a", [[upload]], symbols, catalog))
     assert library.ops_containing(symbols.symbol(boot)) == []
     assert len(library.ops_containing(symbols.symbol(upload))) == 1
+    # Replacement leaves no stale index entries behind.
+    assert library.check_index() == []
+
+
+def test_library_check_index_reports_corruption(catalog, symbols):
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    library = make_library(catalog, symbols, ("op-a", [boot]))
+    assert library.check_index() == []
+    library._containing[symbols.symbol(boot)].add("ghost")
+    problems = library.check_index()
+    assert len(problems) == 1
+    assert "ghost" in problems[0]
 
 
 def test_library_serialization_roundtrip(catalog, symbols):

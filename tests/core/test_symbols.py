@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.openstack.catalog import default_catalog
-from repro.core.symbols import SymbolTable
+from repro.core.symbols import (
+    PUA_BASE,
+    PUA_CAPACITY,
+    SymbolSpaceExhausted,
+    SymbolTable,
+)
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +66,36 @@ def test_unknown_key_raises(table):
 def test_contains(table):
     assert default_catalog().apis[0].key in table
     assert "bogus" not in table
+
+
+def test_has_symbol_reverse_lookup(table):
+    first = chr(PUA_BASE)
+    assert table.has_symbol(first)
+    assert not table.has_symbol("Z")
+
+
+def test_items_enumerates_catalog_order(table):
+    pairs = list(table.items())
+    assert len(pairs) == len(default_catalog())
+    assert pairs[0] == (default_catalog().apis[0].key, chr(PUA_BASE))
+
+
+def test_overflowing_catalog_raises_actionable_error():
+    catalog = default_catalog()
+    capacity = len(catalog) - 1
+    with pytest.raises(SymbolSpaceExhausted) as excinfo:
+        SymbolTable(catalog, capacity=capacity)
+    message = str(excinfo.value)
+    # The error names both sizes and says what to do, rather than
+    # silently assigning wrong chr() symbols past the range.
+    assert str(len(catalog)) in message
+    assert str(capacity) in message
+    assert "shard" in message
+
+
+def test_default_capacity_is_private_use_area(table):
+    assert table.capacity == PUA_CAPACITY
+    assert PUA_CAPACITY == 0xF8FF - 0xE000 + 1
 
 
 def test_deterministic_across_instances():

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -39,3 +41,75 @@ def test_evaluate_table1(full_character, capsys):
     out = capsys.readouterr().out
     assert "Table 1" in out
     assert "compute" in out
+
+
+# ---------------------------------------------------------------------------
+# repro lint
+# ---------------------------------------------------------------------------
+
+def _ambiguous_library_file(tmp_path):
+    """A two-fingerprint library where one subsumes the other."""
+    from repro.core.fingerprint import Fingerprint, FingerprintLibrary
+    from repro.core.symbols import SymbolTable
+    from repro.openstack.catalog import default_catalog
+
+    catalog = default_catalog()
+    symbols = SymbolTable(catalog)
+    keys = [a.key for a in catalog.apis if a.state_change and not a.noise][:6]
+    library = FingerprintLibrary(symbols)
+    library.add(Fingerprint("op-short", symbols.encode(keys[:3]), (True,) * 3))
+    library.add(Fingerprint("op-long", symbols.encode(keys), (True,) * 6))
+    path = tmp_path / "library.json"
+    path.write_text(json.dumps(library.to_dict()))
+    return str(path)
+
+
+def test_lint_clean_library_exits_zero(full_character, capsys):
+    # full_character warms the on-disk cache the CLI will read.
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "repro lint: 1200 fingerprints" in out
+    assert "0 error(s)" in out
+    assert "passes: ambiguity, truncation, integrity, regex, noise-config" in out
+
+
+def test_lint_strict_flags_injected_ambiguous_pair(tmp_path, capsys):
+    path = _ambiguous_library_file(tmp_path)
+    assert main(["lint", "--library", path]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--library", path, "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "AMB002" in out
+    assert "op-short" in out
+
+
+def test_lint_json_output_round_trips(tmp_path, capsys):
+    from repro.analysis.findings import LintReport
+
+    path = _ambiguous_library_file(tmp_path)
+    assert main(["lint", "--library", path, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    report = LintReport.from_dict(data)
+    assert report.to_dict() == data
+    assert report.rule_counts.get("AMB002") == 1
+
+
+def test_lint_synthetic_pua_overflow_is_error(tmp_path, capsys):
+    path = _ambiguous_library_file(tmp_path)
+    assert main(["lint", "--library", path, "--max-symbols", "100"]) == 1
+    out = capsys.readouterr().out
+    assert "SYM001" in out
+    assert "ERROR" in out
+
+
+def test_lint_pass_subset_and_unknown_pass(tmp_path, capsys):
+    path = _ambiguous_library_file(tmp_path)
+    assert main(["lint", "--library", path, "--passes", "integrity"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--library", path, "--passes", "bogus"]) == 2
+    assert "unknown lint pass" in capsys.readouterr().err
+
+
+def test_lint_unreadable_library_is_usage_error(tmp_path, capsys):
+    assert main(["lint", "--library", str(tmp_path / "missing.json")]) == 2
+    assert "cannot read library" in capsys.readouterr().err
