@@ -1,0 +1,214 @@
+"""Parallel-analyzer throughput baseline: serial vs sharded (§7.4.1).
+
+The repo's first recorded performance baseline.  Replays the Fig. 8c
+synthetic stream (60K events at full scale, 1 REST fault per 1000)
+through the serial ``GretelAnalyzer`` event receiver and through
+``ShardedAnalyzer`` at shard counts {1, 2, 4, 8}, measuring
+
+* **ingest** events/second (detection deferred — the §7.4.1 receiver
+  path the paper's 50K events/s claim is about), and
+* **effective** events/second (including the deferred detection
+  drain),
+
+and runs the differential-correctness oracle at every shard count so
+the speedup is only reported for a configuration proven
+report-identical to the serial analyzer.
+
+Artifacts: ``results/BENCH_parallel_throughput.json`` (machine
+readable; the committed copy is a full-scale run) and
+``results/parallel_throughput.txt`` (rendered report, referenced from
+EXPERIMENTS.md).
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, full_scale
+
+from repro.core.analyzer import GretelAnalyzer
+from repro.core.config import GretelConfig
+from repro.core.parallel import ShardedAnalyzer, verify_equivalence
+from repro.monitoring.store import MetadataStore
+from repro.workloads.traffic import SyntheticStream
+
+SHARD_COUNTS = (1, 2, 4, 8)
+FAULT_EVERY = 1000
+ALPHA = 768          # the paper's testbed α, as in Fig. 8c
+SEED = 5             # the Fig. 8c stream seed
+REPEATS = 3          # timing is best-of-N; fresh analyzer each run
+
+#: Acceptance floor: sharded ingest ≥ this × serial at 4 shards on the
+#: full 60K-event stream (ISSUE 2).  The small smoke scale asserts a
+#: looser floor to stay robust on noisy CI runners.
+TARGET_SPEEDUP_AT_4 = 1.5
+SMOKE_SPEEDUP_AT_4 = 1.1
+
+
+def _config():
+    return GretelConfig(alpha=ALPHA)
+
+
+def _time_serial(library, events):
+    best = None
+    for _ in range(REPEATS):
+        analyzer = GretelAnalyzer(
+            library, store=MetadataStore(), config=_config(),
+            track_latency=False, defer_detection=True,
+        )
+        started = time.perf_counter()
+        analyzer.feed(events)
+        analyzer.flush()
+        ingest = time.perf_counter() - started
+        started = time.perf_counter()
+        snapshots = analyzer.process_deferred()
+        detect = time.perf_counter() - started
+        sample = {
+            "ingest_seconds": ingest,
+            "detect_seconds": detect,
+            "snapshots": snapshots,
+            "reports": len(analyzer.reports),
+        }
+        if best is None or ingest < best["ingest_seconds"]:
+            best = sample
+    return best
+
+
+def _time_sharded(library, events, shards):
+    best = None
+    for _ in range(REPEATS):
+        analyzer = ShardedAnalyzer(
+            library, shards, store=MetadataStore(), config=_config(),
+            track_latency=False, defer_detection=True,
+        )
+        started = time.perf_counter()
+        analyzer.ingest(events)
+        analyzer.flush()
+        ingest = time.perf_counter() - started
+        started = time.perf_counter()
+        snapshots = analyzer.process_deferred()
+        detect = time.perf_counter() - started
+        sample = {
+            "ingest_seconds": ingest,
+            "detect_seconds": detect,
+            "snapshots": snapshots,
+            "reports": len(analyzer.reports),
+        }
+        if best is None or ingest < best["ingest_seconds"]:
+            best = sample
+    return best
+
+
+def _rates(sample, count):
+    ingest = sample["ingest_seconds"]
+    total = ingest + sample["detect_seconds"]
+    return {
+        "ingest_eps": count / ingest,
+        "effective_eps": count / total,
+        **sample,
+    }
+
+
+def _render(payload):
+    from repro.reporting import render_bars
+
+    serial = payload["serial"]
+    lines = [
+        "Parallel-analyzer throughput baseline (Fig. 8c stream)",
+        f"{payload['stream']['events']} events, 1 fault per "
+        f"{payload['stream']['fault_every']}, alpha={ALPHA}, "
+        f"scale={payload['scale']}",
+        f"{'analyzer':>12s} {'ingest':>14s} {'effective':>14s} "
+        f"{'vs serial':>10s} {'oracle':>8s}",
+        f"{'serial':>12s} {serial['ingest_eps']:10.0f}e/s "
+        f"{serial['effective_eps']:12.0f}e/s {'1.00x':>10s} {'--':>8s}",
+    ]
+    for sample in payload["sharded"]:
+        lines.append(
+            f"{sample['shards']:10d}sh {sample['ingest_eps']:10.0f}e/s "
+            f"{sample['effective_eps']:12.0f}e/s "
+            f"{sample['speedup_ingest']:9.2f}x "
+            f"{'PASS' if sample['equivalent'] else 'FAIL':>8s}"
+        )
+    lines.append("  ingest throughput (K events/s):")
+    bars = [("serial", round(serial["ingest_eps"] / 1000, 1))]
+    bars += [(f"{s['shards']} shard(s)", round(s["ingest_eps"] / 1000, 1))
+             for s in payload["sharded"]]
+    lines.append(render_bars(bars, unit=" Ke/s"))
+    return "\n".join(lines)
+
+
+def test_parallel_throughput_baseline(character, save_result):
+    library = character.library
+    if full_scale():
+        event_count, shard_counts = 60_000, SHARD_COUNTS
+    else:
+        event_count, shard_counts = 12_000, SHARD_COUNTS
+    stream = SyntheticStream(
+        library, library.symbols, fault_every=FAULT_EVERY, seed=SEED,
+    )
+    events = stream.events(event_count)
+
+    serial = _rates(_time_serial(library, events), event_count)
+    sharded = []
+    for shards in shard_counts:
+        sample = _rates(_time_sharded(library, events, shards), event_count)
+        oracle = verify_equivalence(
+            events, library, shards, config=_config(),
+            track_latency=False, defer_detection=True, strict=False,
+        )
+        sample.update({
+            "shards": shards,
+            "speedup_ingest": sample["ingest_eps"] / serial["ingest_eps"],
+            "speedup_effective":
+                sample["effective_eps"] / serial["effective_eps"],
+            "equivalent": oracle.ok,
+            "serial_reports": oracle.serial_reports,
+            "sharded_reports": oracle.sharded_reports,
+        })
+        sharded.append(sample)
+
+    payload = {
+        "benchmark": "parallel_throughput",
+        "scale": "full" if full_scale() else "small",
+        "stream": {
+            "events": event_count,
+            "fault_every": FAULT_EVERY,
+            "alpha": ALPHA,
+            "seed": SEED,
+        },
+        "serial": serial,
+        "sharded": sharded,
+        "acceptance": {
+            "target_speedup_ingest_at_4_shards": TARGET_SPEEDUP_AT_4,
+            "achieved_speedup_ingest_at_4_shards": next(
+                s["speedup_ingest"] for s in sharded if s["shards"] == 4
+            ),
+        },
+    }
+    # The committed JSON is a full-scale run; the small smoke scale
+    # must not clobber it with reduced-stream numbers.
+    if full_scale():
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, "BENCH_parallel_throughput.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        save_result("parallel_throughput", _render(payload))
+    else:
+        print()
+        print(_render(payload))
+
+    # The oracle must hold at every shard count — a speedup that
+    # changes the diagnosis is not a speedup.
+    for sample in sharded:
+        assert sample["equivalent"], (
+            f"sharded run diverged from serial at {sample['shards']} shards"
+        )
+        assert sample["reports"] == serial["reports"]
+    # Sharded ingest must beat the serial receiver at 4 shards.
+    at4 = payload["acceptance"]["achieved_speedup_ingest_at_4_shards"]
+    floor = TARGET_SPEEDUP_AT_4 if full_scale() else SMOKE_SPEEDUP_AT_4
+    assert at4 >= floor, (
+        f"4-shard ingest speedup {at4:.2f}x below the {floor}x floor"
+    )

@@ -38,8 +38,10 @@ from repro.core import (
     GretelConfig,
     Incident,
     IncidentAggregator,
+    ShardedAnalyzer,
     SymbolTable,
     characterize_suite,
+    verify_equivalence,
 )
 from repro.workloads import WorkloadRunner, build_suite
 
@@ -57,10 +59,12 @@ __all__ = [
     "Incident",
     "IncidentAggregator",
     "MonitoringPlane",
+    "ShardedAnalyzer",
     "SymbolTable",
     "WorkloadRunner",
     "build_suite",
     "characterize_suite",
     "default_topology",
+    "verify_equivalence",
     "__version__",
 ]

@@ -15,6 +15,11 @@ Commands
 ``lint``
     Statically verify the fingerprint library, symbol table, catalog
     and config (five analysis passes; see ``docs/linting.md``).
+``analyze``
+    Replay a synthetic wire-event stream through the sharded online
+    analyzer and print throughput; ``--verify-shards`` also replays it
+    serially and asserts identical report sets (the differential
+    oracle; see ``docs/parallelism.md``).
 """
 
 from __future__ import annotations
@@ -184,6 +189,62 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.config import GretelConfig
+    from repro.core.parallel import ShardedAnalyzer, verify_equivalence
+    from repro.evaluation.common import default_characterization
+    from repro.monitoring.store import MetadataStore
+    from repro.workloads.traffic import SyntheticStream
+
+    character = default_characterization(
+        seed=args.seed, use_disk_cache=not args.no_cache,
+    )
+    library = character.library
+    stream = SyntheticStream(
+        library, library.symbols,
+        fault_every=args.fault_every, seed=args.seed,
+    )
+    events = stream.events(args.events)
+    config = GretelConfig(alpha=args.alpha)
+
+    analyzer = ShardedAnalyzer(
+        library, args.shards, batch_size=args.batch_size,
+        store=MetadataStore(), config=config,
+        track_latency=not args.no_latency, defer_detection=True,
+    )
+    started = time.perf_counter()
+    analyzer.ingest(events)
+    analyzer.flush()
+    ingest_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    snapshots = analyzer.process_deferred()
+    detect_seconds = time.perf_counter() - started
+
+    count = len(events)
+    print(f"{args.shards}-shard analyzer over {count} events "
+          f"(1 fault per {args.fault_every}, batch {args.batch_size}):")
+    print(f"  ingest    {count / ingest_seconds:12,.0f} events/s "
+          f"({ingest_seconds:.3f}s)")
+    print(f"  effective {count / (ingest_seconds + detect_seconds):12,.0f} "
+          f"events/s (+{detect_seconds:.3f}s detection, "
+          f"{snapshots} snapshots)")
+    print(f"  reports: {len(analyzer.operational_reports)} operational, "
+          f"{len(analyzer.performance_reports)} performance")
+
+    if args.verify_shards:
+        result = verify_equivalence(
+            events, library, args.shards, batch_size=args.batch_size,
+            config=config, track_latency=not args.no_latency,
+            defer_detection=True, strict=False,
+        )
+        print(result.summary())
+        if not result.ok:
+            return 1
+    return 0
+
+
 EXPERIMENTS = ("table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c",
                "fig8a", "fig8b", "fig8c", "overhead", "hansel")
 
@@ -249,6 +310,43 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--iterations", type=int, default=2)
     lint.add_argument("--no-cache", action="store_true")
     lint.set_defaults(handler=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="replay a synthetic stream through the sharded analyzer",
+    )
+    analyze.add_argument(
+        "--events", type=int, default=60_000,
+        help="stream length in wire events (default: the Fig. 8c 60K)",
+    )
+    analyze.add_argument(
+        "--fault-every", type=int, default=1000,
+        help="one REST fault per this many events (default 1000)",
+    )
+    analyze.add_argument(
+        "--shards", type=int, default=4,
+        help="number of analyzer shards (default 4)",
+    )
+    analyze.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="events per shard step (default 1024)",
+    )
+    analyze.add_argument(
+        "--alpha", type=int, default=768,
+        help="sliding-window size α (default: the paper's 768)",
+    )
+    analyze.add_argument(
+        "--no-latency", action="store_true",
+        help="disable per-API latency tracking (pure operational path)",
+    )
+    analyze.add_argument(
+        "--verify-shards", action="store_true",
+        help="also replay serially and assert identical report sets "
+             "(differential oracle; exit 1 on divergence)",
+    )
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--no-cache", action="store_true")
+    analyze.set_defaults(handler=_cmd_analyze)
 
     return parser
 

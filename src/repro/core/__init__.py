@@ -29,6 +29,13 @@ from repro.core.analyzer import GretelAnalyzer
 from repro.core.characterize import CharacterizationResult, characterize_suite
 from repro.core.config import GretelConfig
 from repro.core.detector import DetectionResult, OperationDetector
+from repro.core.parallel import (
+    AnalyzerShard,
+    EquivalenceResult,
+    ShardDivergence,
+    ShardedAnalyzer,
+    verify_equivalence,
+)
 from repro.core.fingerprint import Fingerprint, FingerprintLibrary, generate_fingerprint
 from repro.core.incidents import Incident, IncidentAggregator
 from repro.core.outliers import LevelShiftDetector
@@ -37,8 +44,10 @@ from repro.core.reports import FaultReport, RootCauseFinding
 from repro.core.symbols import SymbolTable
 
 __all__ = [
+    "AnalyzerShard",
     "CharacterizationResult",
     "DetectionResult",
+    "EquivalenceResult",
     "FaultReport",
     "Fingerprint",
     "FingerprintLibrary",
@@ -49,8 +58,11 @@ __all__ = [
     "LevelShiftDetector",
     "OperationDetector",
     "RootCauseFinding",
+    "ShardDivergence",
+    "ShardedAnalyzer",
     "SymbolTable",
     "characterize_suite",
     "generate_fingerprint",
     "theta",
+    "verify_equivalence",
 ]

@@ -50,6 +50,7 @@ class GretelAnalyzer:
         config: Optional[GretelConfig] = None,
         track_latency: bool = True,
         defer_detection: bool = False,
+        encode_batch=None,
     ):
         self.catalog = catalog or default_catalog()
         self.symbols = symbols or library.symbols
@@ -57,7 +58,10 @@ class GretelAnalyzer:
         self.store = store or MetadataStore()
         self.config = config or GretelConfig()
         self.alpha = self.config.sliding_window_size(max(library.fp_max, 2))
-        self.window = SlidingWindow(self.alpha)
+        # ``encode_batch`` (see repro.core.detector.batch_encoder) makes
+        # the window pre-encode symbols so snapshot matching can slice
+        # instead of re-encoding; the sharded analyzer turns it on.
+        self.window = SlidingWindow(self.alpha, encode_batch=encode_batch)
         self.detector = OperationDetector(
             library, self.symbols, self.catalog, self.config
         )
@@ -162,6 +166,16 @@ class GretelAnalyzer:
 
     # -- performance path ------------------------------------------------------------
 
+    def _perf_context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
+        """The live window contents forming a performance-fault context.
+
+        The serial analyzer observes latencies strictly in arrival
+        order, so the window *is* the α events ending at the anomalous
+        one.  The sharded analyzer appends in batches before observing
+        latencies and overrides this to reconstruct the same view.
+        """
+        return list(self.window._events)
+
     def _on_performance_anomaly(self, anomaly: PerformanceAnomaly) -> None:
         # A node-wide surge shifts many API series at once; re-running
         # the snapshot match for every series adds nothing — debounce
@@ -174,7 +188,7 @@ class GretelAnalyzer:
         started = time.perf_counter()
         # Performance faults use the entire context buffer, and the
         # operation runs to completion — no truncation (§5.3.1).
-        events = list(self.window._events)
+        events = self._perf_context(anomaly)
         try:
             fault_index = next(
                 i for i, e in enumerate(events) if e.seq == anomaly.event.seq

@@ -38,7 +38,7 @@ RPC symbols are pruned from fingerprints and buffer when
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.openstack.apis import ApiKind
 from repro.openstack.catalog import ApiCatalog
@@ -51,6 +51,47 @@ from repro.core.window import Snapshot
 
 #: Cap on how many truncation points are tried per fingerprint.
 _MAX_TRUNCATIONS = 6
+
+
+def batch_encoder(
+    symbols: SymbolTable, config: Optional[GretelConfig] = None,
+) -> Callable[[Sequence[WireEvent]], List[str]]:
+    """A chunk-at-a-time event→symbol encoder for the sharded path.
+
+    Returns a callable mapping a run of wire events to one symbol
+    fragment per event — ``""`` for events that
+    :meth:`OperationDetector._encode_events` would filter (noise, and
+    RPCs under ``prune_rpcs``), the API's symbol otherwise.  The two
+    must stay in lockstep: windows built with this encoder attach the
+    fragments to their snapshots, and :meth:`OperationDetector.detect`
+    joins slices of them instead of re-encoding the context buffer.
+    Filtering is folded into a per-API cache, so steady-state encoding
+    is one dict lookup per event instead of a method call plus kind
+    checks.
+    """
+    config = config or GretelConfig()
+    prune = config.prune_rpcs
+    lookup = symbols.symbol
+    rpc = ApiKind.RPC
+    cache: Dict[str, str] = {}
+
+    def encode(events: Sequence[WireEvent]) -> List[str]:
+        fragments: List[str] = []
+        append = fragments.append
+        get = cache.get
+        for event in events:
+            if event.noise:
+                append("")
+                continue
+            fragment = get(event.api_key)
+            if fragment is None:
+                symbol = lookup(event.api_key)
+                fragment = "" if (prune and event.kind is rpc) else symbol
+                cache[event.api_key] = fragment
+            append(fragment)
+        return fragments
+
+    return encode
 
 
 import re as _re
@@ -259,6 +300,21 @@ class OperationDetector:
             parts.append(self.symbols.symbol(event.api_key))
         return "".join(parts)
 
+    def _buffer_symbols(self, snapshot: Snapshot, lo: int, hi: int,
+                        correlation_id: str) -> str:
+        """Symbol string for ``snapshot.events[lo:hi]``.
+
+        Snapshots frozen by an encoding window (the sharded analyzer's
+        batched path) carry one pre-encoded fragment per event, so a
+        buffer is a join of a slice; correlation filtering depends on
+        the fault's request id, which the pre-encoding cannot bake in,
+        so that mode falls back to per-event encoding.
+        """
+        encoded = snapshot.encoded
+        if encoded is not None and not correlation_id:
+            return "".join(encoded[lo:hi])
+        return self._encode_events(snapshot.events[lo:hi], correlation_id)
+
     # -- scoring --------------------------------------------------------------------
 
     def _score(self, candidates: List[_Candidate],
@@ -342,7 +398,8 @@ class OperationDetector:
                 snapshot, candidates, total,
                 scores=self._score(
                     candidates,
-                    self._encode_events(snapshot.events, correlation_id),
+                    self._buffer_symbols(snapshot, 0, len(snapshot.events),
+                                         correlation_id),
                 ),
                 beta=len(snapshot.events), iterations=1,
                 events=snapshot.events,
@@ -358,10 +415,10 @@ class OperationDetector:
         finalized: Dict[int, Tuple[int, float]] = {}
         while True:
             iterations += 1
-            window_events = snapshot.window(beta)
+            lo, hi = snapshot.bounds(beta)
             scores = self._score(
                 candidates,
-                self._encode_events(window_events, correlation_id),
+                self._buffer_symbols(snapshot, lo, hi, correlation_id),
                 finalized,
             )
             ranked = self._rank(candidates, scores)

@@ -10,7 +10,7 @@ the observed latency directly and feeds one
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.openstack.wire import WireEvent
 from repro.core.config import GretelConfig
@@ -81,6 +81,22 @@ class LatencyTracker:
         for callback in self._listeners:
             callback(anomaly)
         return anomaly
+
+    def observe_batch(self, events: Sequence[WireEvent]) -> int:
+        """Feed a run of events, skipping noise and error exchanges.
+
+        Applies the same gate the serial analyzer applies per event
+        (``not event.noise and not event.error``), so a batched caller
+        sees exactly the serial anomaly sequence.  Returns the number
+        of latencies actually observed.
+        """
+        observed = 0
+        for event in events:
+            if event.noise or event.status >= 400:
+                continue
+            self.observe(event)
+            observed += 1
+        return observed
 
     def series_count(self) -> int:
         """How many API series are being tracked."""

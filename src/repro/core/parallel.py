@@ -1,0 +1,486 @@
+"""Sharded online analysis: partitioned GRETEL with a correctness oracle.
+
+The serial :class:`~repro.core.analyzer.GretelAnalyzer` is one
+synchronous object: every wire event pays a chain of Python calls
+(receiver → window append → fault scan → latency observe).  GRETEL's
+own architecture implies a cheaper shape — the paper deploys one
+capture agent per node and guarantees ordering only *per agent*
+(§5.2), so the event stream is naturally partitioned by source node
+and nothing in the pipeline requires a total order across nodes.
+
+:class:`ShardedAnalyzer` exploits exactly that partitioning:
+
+* events are routed to one of N :class:`AnalyzerShard` workers by a
+  deterministic partition key (source node by default, first-seen
+  round-robin assignment);
+* each shard owns its own :class:`~repro.core.window.SlidingWindow`,
+  :class:`~repro.core.latency.LatencyTracker` and
+  :class:`~repro.core.detector.OperationDetector`, so shards share no
+  mutable state and a step never crosses shard boundaries;
+* a shard step ingests a *chunk* of events: one cheap scan finds the
+  (rare) faults, fault-free runs land in the window via C-level
+  ``deque.extend``, symbols are encoded once per chunk
+  (:func:`repro.core.detector.batch_encoder`) instead of per event
+  per match iteration, and latencies are observed per chunk;
+* the merge stage orders every shard's
+  :class:`~repro.core.reports.FaultReport` deterministically by
+  (fault event sequence, fault kind, report timestamp), so two runs
+  over the same stream produce byte-identical report streams
+  regardless of shard count or chunking.
+
+Correctness is not argued, it is *checked*: :func:`verify_equivalence`
+replays a stream through the serial analyzer and a sharded one and
+compares canonical report signatures.  Partitioning is semantics
+preserving whenever fault contexts are partition-local (trivially so
+for single-source streams such as the Fig. 8c replay harness, and for
+any per-node capture deployment analyzed per agent); the oracle turns
+that property from an assumption into an assertion, and is wired into
+both the test suite and ``repro analyze --verify-shards``.  See
+``docs/parallelism.md``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
+
+from repro.openstack.catalog import ApiCatalog
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+from repro.core.analyzer import GretelAnalyzer
+from repro.core.config import GretelConfig
+from repro.core.detector import batch_encoder
+from repro.core.fingerprint import FingerprintLibrary
+from repro.core.latency import PerformanceAnomaly
+from repro.core.opfaults import is_operational_fault
+from repro.core.reports import FaultReport
+from repro.core.symbols import SymbolTable
+from repro.monitoring.store import MetadataStore
+
+#: Default number of events per shard step.
+DEFAULT_BATCH_SIZE = 1024
+
+#: Report signature: (kind, fault seq, matched operations, θ, causes).
+ReportSignature = Tuple[str, int, Tuple[str, ...], float,
+                        Tuple[Tuple[str, str, str], ...]]
+
+
+def source_node_key(event: WireEvent) -> str:
+    """The default partition key: the capturing agent's node (§5.2)."""
+    return event.src_node
+
+
+def report_order_key(report: FaultReport) -> Tuple[int, int, float]:
+    """Deterministic merge order: (event sequence, fault id).
+
+    The fault id breaks ties between an operational and a performance
+    report anchored on the same wire event: operational first, then by
+    report timestamp.
+    """
+    return (report.fault_event.seq,
+            0 if report.kind == "operational" else 1,
+            report.ts)
+
+
+def report_signature(report: FaultReport) -> ReportSignature:
+    """Order-independent identity of one report, for set comparison.
+
+    Captures everything an operator acts on — fault kind and wire
+    event, the matched operation set, the detection precision θ and
+    the root-cause findings — while ignoring wall-clock measurement
+    fields (``analysis_seconds``) that legitimately differ between
+    runs.
+    """
+    return (
+        report.kind,
+        report.fault_event.seq,
+        tuple(report.detection.operations),
+        round(report.detection.theta, 12),
+        tuple(sorted((c.node, c.kind, c.subject)
+                     for c in report.root_causes)),
+    )
+
+
+class AnalyzerShard(GretelAnalyzer):
+    """One worker shard: a GRETEL analyzer with a batched event loop.
+
+    Inherits the full serial pipeline (snapshot analysis, performance
+    path, deferred-detection queue) and replaces the per-event receiver
+    with :meth:`ingest_batch`.  The shard's window pre-encodes symbols
+    per chunk, so its snapshots carry the context buffer in symbol form
+    and detection slices instead of re-encoding.
+    """
+
+    def __init__(self, shard_id: int, library: FingerprintLibrary,
+                 *, batch_size: int = DEFAULT_BATCH_SIZE, **kwargs):
+        config = kwargs.get("config") or GretelConfig()
+        kwargs["config"] = config
+        symbols = kwargs.get("symbols") or library.symbols
+        super().__init__(
+            library, encode_batch=batch_encoder(symbols, config), **kwargs
+        )
+        self.shard_id = shard_id
+        self.batch_size = max(1, batch_size)
+        # Batching appends a whole chunk before observing its
+        # latencies, so the live window may have scrolled past the
+        # anomalous event; keep enough recent history to reconstruct
+        # the exact α events ending at the anomaly (see
+        # :meth:`_perf_context`).
+        self._recent: Optional[Deque[WireEvent]] = (
+            deque(maxlen=self.alpha + self.batch_size)
+            if self.track_latency else None
+        )
+
+    def ingest_batch(self, chunk: Sequence[WireEvent]) -> None:
+        """Process a FIFO run of this shard's events in batched steps.
+
+        Byte-equivalent to calling :meth:`on_event` per event: faults
+        mark the window at their exact positions, snapshots freeze
+        after their own α/2 successors, and latencies are observed in
+        arrival order.
+        """
+        total = len(chunk)
+        if not total:
+            return
+        if total > self.batch_size:
+            for start in range(0, total, self.batch_size):
+                self.ingest_batch(chunk[start:start + self.batch_size])
+            return
+
+        self.events_processed += total
+        self.bytes_processed += sum(e.size_bytes for e in chunk)
+        if self._recent is not None:
+            self._recent.extend(chunk)
+
+        # One scan finds the rare faults; everything between them is a
+        # fault-free run the window ingests with a single extend.
+        window = self.window
+        rest = ApiKind.REST
+        completed = []
+        start = 0
+        for index, event in enumerate(chunk):
+            failed = event.status >= 400
+            if failed and event.kind is rest:
+                # Snapshots trigger on REST errors only (§5.3.1).
+                completed.extend(window.append_batch(chunk[start:index + 1]))
+                start = index + 1
+                self.operational_faults_seen += 1
+                window.mark_fault(event)
+            elif failed or (event.kind is not rest and event.body):
+                if is_operational_fault(event):
+                    self.operational_faults_seen += 1
+        if start < total:
+            completed.extend(window.append_batch(chunk[start:]))
+
+        for snapshot in completed:
+            if self.defer_detection:
+                self._deferred.append(snapshot)
+            else:
+                self._analyze_operational(snapshot)
+
+        if self.track_latency:
+            self.latency.observe_batch(chunk)
+
+    def _perf_context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
+        """Reconstruct the serial analyzer's window view at the anomaly.
+
+        The serial path observes each latency right after appending its
+        event, so its context is the α events ending at the anomalous
+        one; the batched path has already appended the rest of the
+        chunk.  The recent-history ring is sized α + batch, so the α
+        events at or before the anomaly are always still present.
+        """
+        if self._recent is None:
+            return super()._perf_context(anomaly)
+        seq = anomaly.event.seq
+        events = [e for e in self._recent if e.seq <= seq]
+        return events[-self.alpha:]
+
+
+class ShardedAnalyzer:
+    """N-way partitioned GRETEL analyzer with deterministic merging.
+
+    Public surface mirrors :class:`GretelAnalyzer` (``on_event`` /
+    ``feed`` / ``flush`` / ``process_deferred`` / ``reports`` /
+    counters) so callers can swap it in; events are routed to shards
+    by ``key`` and buffered into chunks of ``batch_size`` per shard.
+    """
+
+    def __init__(
+        self,
+        library: FingerprintLibrary,
+        shards: int = 4,
+        *,
+        key: Callable[[WireEvent], str] = source_node_key,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        symbols: Optional[SymbolTable] = None,
+        catalog: Optional[ApiCatalog] = None,
+        store: Optional[MetadataStore] = None,
+        config: Optional[GretelConfig] = None,
+        track_latency: bool = True,
+        defer_detection: bool = False,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.library = library
+        self.key = key
+        self.batch_size = max(1, batch_size)
+        self.store = store or MetadataStore()
+        self.config = config or GretelConfig()
+        self.shards: List[AnalyzerShard] = [
+            AnalyzerShard(
+                index, library, batch_size=self.batch_size,
+                symbols=symbols, catalog=catalog, store=self.store,
+                config=self.config, track_latency=track_latency,
+                defer_detection=defer_detection,
+            )
+            for index in range(shards)
+        ]
+        #: partition key → shard index, assigned first-seen round-robin
+        #: (deterministic for a given stream, maximally balanced across
+        #: distinct keys — a stable hash can pile few nodes onto one
+        #: shard).
+        self._assignment: Dict[str, int] = {}
+        self._buffers: List[List[WireEvent]] = [[] for _ in range(shards)]
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of worker shards."""
+        return len(self.shards)
+
+    def shard_index(self, partition_key: str) -> int:
+        """The shard owning a partition key (assigning it if new)."""
+        index = self._assignment.get(partition_key)
+        if index is None:
+            index = len(self._assignment) % len(self.shards)
+            self._assignment[partition_key] = index
+        return index
+
+    @property
+    def assignment(self) -> Dict[str, int]:
+        """A copy of the partition-key → shard map seen so far."""
+        return dict(self._assignment)
+
+    def on_report(self, callback: Callable[[FaultReport], None]) -> None:
+        """Register a fault-report consumer on every shard."""
+        for shard in self.shards:
+            shard.on_report(callback)
+
+    # -- event intake ------------------------------------------------------
+
+    def on_event(self, event: WireEvent) -> None:
+        """Streaming entry point: buffer per shard, step when full."""
+        index = self.shard_index(self.key(event))
+        buffer = self._buffers[index]
+        buffer.append(event)
+        if len(buffer) >= self.batch_size:
+            self.shards[index].ingest_batch(buffer)
+            self._buffers[index] = []
+
+    def ingest(self, events: Sequence[WireEvent]) -> int:
+        """Partition one batch of events and run each shard's step.
+
+        Bypasses the streaming buffers: the whole batch is scattered in
+        one pass and each shard ingests its bucket immediately.
+        """
+        shards = self.shards
+        if len(shards) == 1:
+            shards[0].ingest_batch(events)
+            return len(events)
+        buckets: List[List[WireEvent]] = [[] for _ in shards]
+        key = self.key
+        lookup = self._assignment.get
+        route = self.shard_index
+        for event in events:
+            partition = key(event)
+            index = lookup(partition)
+            if index is None:
+                index = route(partition)
+            buckets[index].append(event)
+        for index, bucket in enumerate(buckets):
+            if bucket:
+                shards[index].ingest_batch(bucket)
+        return len(events)
+
+    def feed(self, events: Iterable[WireEvent]) -> int:
+        """Pump a stream in ``batch_size`` chunks; returns the count."""
+        total = 0
+        batch: List[WireEvent] = []
+        for event in events:
+            batch.append(event)
+            if len(batch) >= self.batch_size:
+                total += self.ingest(batch)
+                batch = []
+        if batch:
+            total += self.ingest(batch)
+        return total
+
+    def flush(self) -> None:
+        """Drain stream buffers and freeze all pending snapshots."""
+        for index, buffer in enumerate(self._buffers):
+            if buffer:
+                self.shards[index].ingest_batch(buffer)
+                self._buffers[index] = []
+        for shard in self.shards:
+            shard.flush()
+
+    def process_deferred(self) -> int:
+        """Analyze every shard's queued snapshots; returns the total."""
+        return sum(shard.process_deferred() for shard in self.shards)
+
+    # -- merge stage -------------------------------------------------------
+
+    @property
+    def reports(self) -> List[FaultReport]:
+        """All shards' reports in deterministic merged order."""
+        merged = [r for shard in self.shards for r in shard.reports]
+        merged.sort(key=report_order_key)
+        return merged
+
+    @property
+    def operational_reports(self) -> List[FaultReport]:
+        """Merged reports for operational faults."""
+        return [r for r in self.reports if r.kind == "operational"]
+
+    @property
+    def performance_reports(self) -> List[FaultReport]:
+        """Merged reports for performance faults."""
+        return [r for r in self.reports if r.kind == "performance"]
+
+    # -- aggregate stats ---------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        """Events ingested across all shards."""
+        return sum(s.events_processed for s in self.shards)
+
+    @property
+    def bytes_processed(self) -> int:
+        """Wire bytes ingested across all shards."""
+        return sum(s.bytes_processed for s in self.shards)
+
+    @property
+    def operational_faults_seen(self) -> int:
+        """Operational faults observed across all shards."""
+        return sum(s.operational_faults_seen for s in self.shards)
+
+    @property
+    def analysis_seconds(self) -> float:
+        """Total detection wall clock across all shards."""
+        return sum(s.analysis_seconds for s in self.shards)
+
+    @property
+    def snapshots_taken(self) -> int:
+        """Snapshots frozen across all shards."""
+        return sum(s.window.snapshots_taken for s in self.shards)
+
+
+# ---------------------------------------------------------------------------
+# Differential-correctness oracle
+# ---------------------------------------------------------------------------
+
+class ShardDivergence(AssertionError):
+    """The sharded analyzer's reports diverged from the serial ones."""
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of one serial-vs-sharded differential replay."""
+
+    shards: int
+    events: int
+    serial_reports: int
+    sharded_reports: int
+    #: Signatures present serially but absent (or fewer) sharded.
+    missing: List[ReportSignature] = field(default_factory=list)
+    #: Signatures produced sharded but not (or more often) serially.
+    extra: List[ReportSignature] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the two report multisets are identical."""
+        return not self.missing and not self.extra
+
+    def summary(self) -> str:
+        """One operator-facing line (plus divergence details if any)."""
+        verdict = "EQUIVALENT" if self.ok else "DIVERGED"
+        lines = [
+            f"{verdict}: serial vs {self.shards}-shard on {self.events} "
+            f"events — {self.serial_reports} serial / "
+            f"{self.sharded_reports} sharded reports"
+        ]
+        for label, signatures in (("missing", self.missing),
+                                  ("extra", self.extra)):
+            for kind, seq, operations, precision, _ in signatures[:5]:
+                ops = ",".join(operations) or "<none>"
+                lines.append(
+                    f"  {label}: {kind} fault seq={seq} ops=[{ops}] "
+                    f"theta={precision:.4f}"
+                )
+            if len(signatures) > 5:
+                lines.append(f"  ... {len(signatures) - 5} more {label}")
+        return "\n".join(lines)
+
+
+def verify_equivalence(
+    events: Sequence[WireEvent],
+    library: FingerprintLibrary,
+    shards: int = 4,
+    *,
+    key: Callable[[WireEvent], str] = source_node_key,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    config: Optional[GretelConfig] = None,
+    catalog: Optional[ApiCatalog] = None,
+    track_latency: bool = True,
+    defer_detection: bool = False,
+    strict: bool = True,
+) -> EquivalenceResult:
+    """Replay ``events`` serially and sharded; compare report sets.
+
+    Both analyzers run the same configuration against fresh (empty)
+    metadata stores, the stream is flushed, and — when detection is
+    deferred — both backlogs are drained.  Reports are compared as
+    multisets of :func:`report_signature`; with ``strict`` (the
+    default) any divergence raises :class:`ShardDivergence`, otherwise
+    the caller inspects :attr:`EquivalenceResult.ok`.
+    """
+    events = list(events)
+    config = config or GretelConfig()
+
+    serial = GretelAnalyzer(
+        library, catalog=catalog, store=MetadataStore(), config=config,
+        track_latency=track_latency, defer_detection=defer_detection,
+    )
+    serial.feed(events)
+    serial.flush()
+
+    sharded = ShardedAnalyzer(
+        library, shards, key=key, batch_size=batch_size, catalog=catalog,
+        store=MetadataStore(), config=config, track_latency=track_latency,
+        defer_detection=defer_detection,
+    )
+    sharded.feed(events)
+    sharded.flush()
+
+    if defer_detection:
+        serial.process_deferred()
+        sharded.process_deferred()
+
+    serial_counts = Counter(report_signature(r) for r in serial.reports)
+    sharded_counts = Counter(report_signature(r) for r in sharded.reports)
+    result = EquivalenceResult(
+        shards=shards,
+        events=len(events),
+        serial_reports=len(serial.reports),
+        sharded_reports=len(sharded.reports),
+        missing=sorted((serial_counts - sharded_counts).elements()),
+        extra=sorted((sharded_counts - serial_counts).elements()),
+    )
+    if strict and not result.ok:
+        raise ShardDivergence(result.summary())
+    return result

@@ -10,16 +10,31 @@ is a copy of the deque once enough post-fault events arrived.
 
 Multiple overlapping faults are supported: each fault registers its
 own pending snapshot, and each snapshot completes after its own α/2
-subsequent events (or a flush).
+subsequent events (or a flush).  Pending snapshots are stored as
+absolute due positions (the ``appended`` count at which they freeze),
+which makes the per-event cost a single front-of-list comparison and
+lets :meth:`SlidingWindow.append_batch` ingest whole fault-free runs
+with one C-level ``deque.extend`` — the mechanism behind the sharded
+analyzer's batched event loop (:mod:`repro.core.parallel`).
+
+When an ``encode_batch`` callable is supplied, the window keeps a
+symbol string fragment per event (empty for filtered events) aligned
+with the event deque, and frozen snapshots carry the pre-encoded view
+so operation detection can slice symbols instead of re-encoding the
+context buffer on every adaptive-growth iteration.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.openstack.wire import WireEvent
+
+#: Signature of a batch symbol encoder: one symbol fragment per event,
+#: ``""`` for events excluded from matching (noise / pruned RPCs).
+BatchEncoder = Callable[[Sequence[WireEvent]], List[str]]
 
 
 @dataclass
@@ -29,15 +44,24 @@ class Snapshot:
     fault: WireEvent
     events: List[WireEvent]
     fault_index: int           # position of the fault inside ``events``
+    #: Optional pre-encoded symbol fragment per event (parallel to
+    #: ``events``; ``""`` marks an event excluded from matching).  Set
+    #: by windows constructed with an ``encode_batch`` callable.
+    encoded: Optional[List[str]] = None
 
     def __len__(self) -> int:
         return len(self.events)
 
+    def bounds(self, radius: int) -> Tuple[int, int]:
+        """Index range of events within ``radius`` of the fault."""
+        lo = max(0, self.fault_index - radius)
+        hi = min(len(self.events), self.fault_index + radius + 1)
+        return lo, hi
+
     def window(self, radius: int) -> List[WireEvent]:
         """Events within ``radius`` positions of the fault (the context
         buffer's current extent)."""
-        lo = max(0, self.fault_index - radius)
-        hi = min(len(self.events), self.fault_index + radius + 1)
+        lo, hi = self.bounds(radius)
         return self.events[lo:hi]
 
     def covers_all(self, radius: int) -> bool:
@@ -50,44 +74,87 @@ class SlidingWindow:
     """Dual-buffer sliding window of the α most recent events."""
 
     def __init__(self, alpha: int,
-                 on_snapshot: Optional[Callable[[Snapshot], None]] = None):
+                 on_snapshot: Optional[Callable[[Snapshot], None]] = None,
+                 encode_batch: Optional[BatchEncoder] = None):
         if alpha < 2:
             raise ValueError("alpha must be at least 2")
         self.alpha = alpha
         self.on_snapshot = on_snapshot
         self._events: Deque[WireEvent] = deque(maxlen=alpha)
-        self._pending: List[Tuple[WireEvent, int]] = []  # (fault, remaining)
+        self._encode = encode_batch
+        self._encoded: Optional[Deque[str]] = (
+            deque(maxlen=alpha) if encode_batch is not None else None
+        )
+        #: (fault, due ``appended`` count, fault symbol fragment); dues
+        #: are non-decreasing because every fault waits the same α/2.
+        self._pending: List[Tuple[WireEvent, int, str]] = []
         self.snapshots_taken = 0
         self.appended = 0
 
     def append(self, event: WireEvent) -> List[Snapshot]:
         """Add one event; returns any snapshots that completed."""
         self._events.append(event)
+        if self._encoded is not None:
+            self._encoded.append(self._encode([event])[0])
         self.appended += 1
         completed: List[Snapshot] = []
-        if self._pending:
-            still_pending: List[Tuple[WireEvent, int]] = []
-            for fault, remaining in self._pending:
-                remaining -= 1
-                if remaining <= 0:
-                    completed.append(self._freeze(fault))
-                else:
-                    still_pending.append((fault, remaining))
-            self._pending = still_pending
+        while self._pending and self._pending[0][1] <= self.appended:
+            fault, _, fault_symbol = self._pending.pop(0)
+            completed.append(self._freeze(fault, fault_symbol))
+        return completed
+
+    def append_batch(self, events: Sequence[WireEvent]) -> List[Snapshot]:
+        """Add a FIFO run of events in one step.
+
+        Equivalent to calling :meth:`append` per event (snapshots
+        freeze at exactly the same positions), but fault-free spans
+        between due points are ingested with a single ``deque.extend``
+        and symbol encoding happens once per batch.  Fault *marking*
+        stays with the caller: split the run at each fault so
+        :meth:`mark_fault` lands at the right position.
+        """
+        completed: List[Snapshot] = []
+        total = len(events)
+        if not total:
+            return completed
+        encoded = self._encode(events) if self._encode is not None else None
+        base = self.appended
+        start = 0
+        while self._pending and self._pending[0][1] <= base + total:
+            fault, due, fault_symbol = self._pending.pop(0)
+            cut = due - base
+            if cut > start:
+                self._events.extend(events[start:cut])
+                if encoded is not None:
+                    self._encoded.extend(encoded[start:cut])
+                start = cut
+            self.appended = base + start
+            completed.append(self._freeze(fault, fault_symbol))
+        if start < total:
+            self._events.extend(events[start:])
+            if encoded is not None:
+                self._encoded.extend(encoded[start:])
+        self.appended = base + total
         return completed
 
     def mark_fault(self, fault: WireEvent) -> None:
         """Register a fault; its snapshot freezes after α/2 more events."""
-        self._pending.append((fault, self.alpha // 2))
+        fault_symbol = (
+            self._encode([fault])[0] if self._encode is not None else ""
+        )
+        self._pending.append((fault, self.appended + self.alpha // 2,
+                              fault_symbol))
 
     def flush(self) -> List[Snapshot]:
         """Force-freeze all pending snapshots (end of stream)."""
-        completed = [self._freeze(fault) for fault, _ in self._pending]
+        completed = [self._freeze(fault, fault_symbol)
+                     for fault, _, fault_symbol in self._pending]
         self._pending.clear()
         return completed
 
-    def _freeze(self, fault: WireEvent) -> Snapshot:
+    def _freeze(self, fault: WireEvent, fault_symbol: str = "") -> Snapshot:
         events = list(self._events)
+        encoded = list(self._encoded) if self._encoded is not None else None
         try:
             fault_index = next(
                 i for i, e in enumerate(events) if e.seq == fault.seq
@@ -97,7 +164,10 @@ class SlidingWindow:
             # anchor at the window start so analysis can still proceed.
             fault_index = 0
             events = [fault] + events
-        snapshot = Snapshot(fault=fault, events=events, fault_index=fault_index)
+            if encoded is not None:
+                encoded = [fault_symbol] + encoded
+        snapshot = Snapshot(fault=fault, events=events,
+                            fault_index=fault_index, encoded=encoded)
         self.snapshots_taken += 1
         if self.on_snapshot is not None:
             self.on_snapshot(snapshot)

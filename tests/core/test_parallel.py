@@ -1,0 +1,212 @@
+"""Tests for the sharded analyzer and its differential oracle."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.analyzer import GretelAnalyzer
+from repro.core.config import GretelConfig
+from repro.core.parallel import (
+    ShardDivergence,
+    ShardedAnalyzer,
+    report_order_key,
+    report_signature,
+    source_node_key,
+    verify_equivalence,
+)
+from repro.workloads.traffic import SyntheticStream
+
+
+@pytest.fixture(scope="module")
+def library(small_character):
+    return small_character.library
+
+
+def make_stream(library, fault_every=40, seed=3):
+    return SyntheticStream(library, library.symbols,
+                           fault_every=fault_every, seed=seed)
+
+
+def config():
+    return GretelConfig(p_rate=150.0)
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+def test_router_first_seen_round_robin(library):
+    analyzer = ShardedAnalyzer(library, 3, track_latency=False)
+    keys = ["ctrl", "nova-ctl", "compute-1", "compute-2", "ctrl", "compute-1"]
+    indices = [analyzer.shard_index(k) for k in keys]
+    # New keys take shards 0, 1, 2, 0 in first-seen order; repeats are
+    # sticky.
+    assert indices == [0, 1, 2, 0, 0, 2]
+    assert analyzer.assignment == {
+        "ctrl": 0, "nova-ctl": 1, "compute-1": 2, "compute-2": 0,
+    }
+
+
+def test_router_is_deterministic_across_runs(library):
+    events = make_stream(library).events(500)
+    first = ShardedAnalyzer(library, 4, track_latency=False)
+    second = ShardedAnalyzer(library, 4, track_latency=False)
+    first.ingest(events)
+    second.ingest(events)
+    assert first.assignment == second.assignment
+    assert [s.events_processed for s in first.shards] == \
+        [s.events_processed for s in second.shards]
+
+
+def test_custom_partition_key(library):
+    events = make_stream(library).events(200)
+    analyzer = ShardedAnalyzer(
+        library, 2, key=lambda e: e.dst_service, track_latency=False,
+    )
+    analyzer.ingest(events)
+    assert set(analyzer.assignment) == {e.dst_service for e in events}
+    assert analyzer.events_processed == len(events)
+
+
+def test_shard_count_validation(library):
+    with pytest.raises(ValueError):
+        ShardedAnalyzer(library, 0)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence with the serial analyzer
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 8])
+@pytest.mark.parametrize("defer", [False, True])
+def test_equivalent_to_serial(library, shards, defer):
+    events = make_stream(library).events(1500)
+    result = verify_equivalence(
+        events, library, shards, config=config(),
+        batch_size=128, defer_detection=defer, strict=True,
+    )
+    assert result.ok
+    assert result.serial_reports == result.sharded_reports > 0
+
+
+def test_on_event_streaming_equals_bulk_ingest(library):
+    """The buffered streaming entry point produces the same reports as
+    scatter-ingesting the whole stream (flush drains partial buffers)."""
+    events = make_stream(library).events(1000)
+
+    streaming = ShardedAnalyzer(library, 3, batch_size=64,
+                                config=config(), track_latency=False)
+    for event in events:
+        streaming.on_event(event)
+    streaming.flush()
+
+    bulk = ShardedAnalyzer(library, 3, batch_size=64,
+                           config=config(), track_latency=False)
+    bulk.ingest(events)
+    bulk.flush()
+
+    assert [report_signature(r) for r in streaming.reports] == \
+        [report_signature(r) for r in bulk.reports]
+
+
+def test_counters_match_serial(library):
+    events = make_stream(library).events(1200)
+    serial = GretelAnalyzer(library, config=config(), track_latency=False)
+    serial.feed(events)
+    serial.flush()
+
+    sharded = ShardedAnalyzer(library, 4, config=config(),
+                              track_latency=False, batch_size=100)
+    sharded.feed(events)
+    sharded.flush()
+
+    assert sharded.events_processed == serial.events_processed == len(events)
+    assert sharded.bytes_processed == serial.bytes_processed
+    assert sharded.operational_faults_seen == serial.operational_faults_seen
+    assert sharded.snapshots_taken == serial.window.snapshots_taken
+
+
+@given(seed=st.integers(min_value=0, max_value=30),
+       shards=st.integers(min_value=1, max_value=6),
+       batch=st.sampled_from([1, 7, 64, 1024]))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_equivalence_property(library, seed, shards, batch):
+    """Shard count and chunking never change the report multiset."""
+    events = make_stream(library, fault_every=60, seed=seed).events(600)
+    result = verify_equivalence(
+        events, library, shards, batch_size=batch,
+        config=config(), strict=True,
+    )
+    assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# Merge stage
+# ---------------------------------------------------------------------------
+
+def test_reports_merge_in_deterministic_order(library):
+    events = make_stream(library, fault_every=50).events(2000)
+    analyzer = ShardedAnalyzer(library, 4, batch_size=128,
+                               config=config(), track_latency=False)
+    analyzer.ingest(events)
+    analyzer.flush()
+    merged = analyzer.reports
+    assert len(merged) > 1
+    keys = [report_order_key(r) for r in merged]
+    assert keys == sorted(keys)
+    # Merged order is reproducible and independent of shard count.
+    other = ShardedAnalyzer(library, 2, batch_size=256,
+                            config=config(), track_latency=False)
+    other.ingest(events)
+    other.flush()
+    assert [report_signature(r) for r in other.reports] == \
+        [report_signature(r) for r in merged]
+
+
+def test_report_kind_views(library):
+    events = make_stream(library, fault_every=50).events(1000)
+    analyzer = ShardedAnalyzer(library, 2, config=config(),
+                               track_latency=False)
+    analyzer.ingest(events)
+    analyzer.flush()
+    assert all(r.kind == "operational" for r in analyzer.operational_reports)
+    assert all(r.kind == "performance" for r in analyzer.performance_reports)
+    assert len(analyzer.operational_reports) \
+        + len(analyzer.performance_reports) == len(analyzer.reports)
+
+
+# ---------------------------------------------------------------------------
+# Oracle failure modes
+# ---------------------------------------------------------------------------
+
+def test_oracle_flags_context_splitting_partition(library):
+    """A partition key that shreds one agent's FIFO stream across
+    shards breaks context locality — the oracle must catch it, not
+    paper over it."""
+    events = make_stream(library, fault_every=30).events(1200)
+    shredder = lambda event: str(event.seq % 4)  # noqa: E731
+    result = verify_equivalence(
+        events, library, 4, key=shredder, batch_size=64,
+        config=config(), strict=False,
+    )
+    assert not result.ok
+    assert result.missing or result.extra
+    assert "DIVERGED" in result.summary()
+    with pytest.raises(ShardDivergence):
+        verify_equivalence(
+            events, library, 4, key=shredder, batch_size=64,
+            config=config(), strict=True,
+        )
+
+
+def test_oracle_summary_on_equivalent_run(library):
+    events = make_stream(library).events(400)
+    result = verify_equivalence(events, library, 2, config=config(),
+                                strict=True)
+    assert "EQUIVALENT" in result.summary()
+    assert result.events == 400
+
+
+def test_source_node_key_reads_src_node(library):
+    event = make_stream(library).events(1)[0]
+    assert source_node_key(event) == event.src_node

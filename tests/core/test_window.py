@@ -136,3 +136,109 @@ def test_window_never_exceeds_alpha(alpha, n_events):
     for seq in range(n_events):
         window.append(make_event(seq))
         assert len(window) <= alpha
+
+
+def test_overlapping_faults_each_get_correct_fault_index():
+    """Two faults inside the same α/2 horizon: each completed snapshot
+    must anchor ``fault_index`` on *its own* fault event, not on the
+    other pending fault (regression for the shared-deque freeze)."""
+    window = SlidingWindow(alpha=12)
+    for seq in range(4):
+        window.append(make_event(seq))
+    fault_a = make_event(4, status=500)
+    window.append(fault_a)
+    window.mark_fault(fault_a)
+    # Second fault lands 3 events later — well within alpha/2 = 6.
+    for seq in range(5, 8):
+        window.append(make_event(seq))
+    fault_b = make_event(8, status=503)
+    window.append(fault_b)
+    window.mark_fault(fault_b)
+
+    completed = []
+    for seq in range(9, 30):
+        completed.extend(window.append(make_event(seq)))
+    assert [s.fault.seq for s in completed] == [4, 8]
+    for snapshot in completed:
+        anchored = snapshot.events[snapshot.fault_index]
+        assert anchored.seq == snapshot.fault.seq
+        assert anchored.status == snapshot.fault.status
+        # Full future context: alpha/2 events beyond the fault.
+        assert snapshot.events[-1].seq == snapshot.fault.seq + 6
+
+
+def test_flush_completes_with_partial_future_context():
+    """flush() freezes pending snapshots early: fewer than α/2 events
+    of post-fault context, but the fault stays correctly anchored."""
+    window = SlidingWindow(alpha=12)
+    for seq in range(5):
+        window.append(make_event(seq))
+    fault = make_event(5, status=500)
+    window.append(fault)
+    window.mark_fault(fault)
+    # Only 2 of the 6 future events arrive before shutdown.
+    window.append(make_event(6))
+    window.append(make_event(7))
+
+    snapshots = window.flush()
+    assert len(snapshots) == 1
+    snapshot = snapshots[0]
+    assert snapshot.fault.seq == 5
+    assert snapshot.events[snapshot.fault_index].seq == 5
+    # Partial post-fault context: present, but short of alpha/2.
+    future = [e for e in snapshot.events if e.seq > 5]
+    assert len(future) == 2
+    assert window.pending_snapshots == 0
+
+
+@given(
+    alpha=st.integers(min_value=2, max_value=32),
+    chunks=st.lists(st.integers(min_value=0, max_value=40),
+                    min_size=1, max_size=6),
+    fault_at=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_append_batch_equals_append(alpha, chunks, fault_at):
+    """Chunked ingestion is observationally identical to the serial
+    one-event loop: same snapshots, same anchors, same window state."""
+    total = sum(chunks)
+    events = [make_event(seq, status=500 if seq == fault_at else 200)
+              for seq in range(total)]
+
+    serial = SlidingWindow(alpha=alpha)
+    serial_completed = []
+    for event in events:
+        serial_completed.extend(serial.append(event))
+        if event.status == 500:
+            serial.mark_fault(event)
+
+    batched = SlidingWindow(alpha=alpha)
+    batched_completed = []
+    cursor = 0
+    for size in chunks:
+        chunk = events[cursor:cursor + size]
+        cursor += size
+        # Faults are marked per-chunk, as AnalyzerShard.ingest_batch
+        # does: append up to (and including) the fault, mark, continue.
+        start = 0
+        for offset, event in enumerate(chunk):
+            if event.status == 500:
+                batched_completed.extend(
+                    batched.append_batch(chunk[start:offset + 1]))
+                batched.mark_fault(event)
+                start = offset + 1
+        batched_completed.extend(batched.append_batch(chunk[start:]))
+
+    assert [e.seq for e in batched._events] == [e.seq for e in serial._events]
+    assert batched.appended == serial.appended
+    assert len(batched_completed) == len(serial_completed)
+    for ours, theirs in zip(batched_completed, serial_completed):
+        assert [e.seq for e in ours.events] == [e.seq for e in theirs.events]
+        assert ours.fault.seq == theirs.fault.seq
+        assert ours.fault_index == theirs.fault_index
+    serial_flushed = serial.flush()
+    batched_flushed = batched.flush()
+    assert len(batched_flushed) == len(serial_flushed)
+    for ours, theirs in zip(batched_flushed, serial_flushed):
+        assert ours.fault.seq == theirs.fault.seq
+        assert ours.fault_index == theirs.fault_index

@@ -37,8 +37,9 @@ def test_incident_export(full_character):
 
 def test_parallel_fault_localization(full_character):
     out = run_example("parallel_fault_localization.py")
-    assert "--- GRETEL ---" in out
-    assert "ground-truth operation in set" in out
+    assert "--- GRETEL (4-shard) ---" in out
+    assert "ground-truth operation in set: True" in out
+    assert "EQUIVALENT" in out  # the serial-vs-sharded oracle
 
 
 @pytest.mark.slow

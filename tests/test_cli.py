@@ -113,3 +113,25 @@ def test_lint_pass_subset_and_unknown_pass(tmp_path, capsys):
 def test_lint_unreadable_library_is_usage_error(tmp_path, capsys):
     assert main(["lint", "--library", str(tmp_path / "missing.json")]) == 2
     assert "cannot read library" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# repro analyze
+# ---------------------------------------------------------------------------
+
+def test_analyze_reports_throughput(full_character, capsys):
+    # full_character warms the on-disk cache the CLI will read.
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--no-latency"]) == 0
+    out = capsys.readouterr().out
+    assert "2-shard analyzer over 3000 events" in out
+    assert "ingest" in out and "events/s" in out
+    assert "reports: 2 operational" in out
+
+
+def test_analyze_verify_shards_oracle(full_character, capsys):
+    assert main(["analyze", "--events", "4000", "--shards", "4",
+                 "--batch-size", "256", "--verify-shards"]) == 0
+    out = capsys.readouterr().out
+    assert "EQUIVALENT" in out
+    assert "4-shard on 4000 events" in out
