@@ -44,6 +44,23 @@ REPEATS = 3          # timing is best-of-N; fresh analyzer each run
 TARGET_SPEEDUP_AT_4 = 1.5
 SMOKE_SPEEDUP_AT_4 = 1.1
 
+#: Baseline-drift floor: the achieved 4-shard speedup must stay within
+#: this fraction of the committed full-scale baseline's (a ratio of
+#: ratios, so it ports across machines better than absolute events/s).
+#: Only enforced at full scale, where the stream matches the baseline.
+BASELINE_DRIFT_FLOOR = 0.9
+
+
+def _committed_baseline():
+    """The committed full-scale baseline payload, or None if absent."""
+    path = os.path.join(RESULTS_DIR, "BENCH_parallel_throughput.json")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if payload.get("scale") == "full" else None
+
 
 def _config():
     return GretelConfig(alpha=ALPHA)
@@ -168,6 +185,10 @@ def test_parallel_throughput_baseline(character, save_result):
         })
         sharded.append(sample)
 
+    # Read the committed baseline *before* a full-scale run overwrites
+    # the file, so drift is measured against the last committed run.
+    committed = _committed_baseline()
+
     payload = {
         "benchmark": "parallel_throughput",
         "scale": "full" if full_scale() else "small",
@@ -212,3 +233,14 @@ def test_parallel_throughput_baseline(character, save_result):
     assert at4 >= floor, (
         f"4-shard ingest speedup {at4:.2f}x below the {floor}x floor"
     )
+    # Drift gate against the committed baseline: refactors of the
+    # analyzer internals must not erode the sharded advantage.
+    if full_scale() and committed is not None:
+        reference = committed["acceptance"][
+            "achieved_speedup_ingest_at_4_shards"
+        ]
+        assert at4 >= BASELINE_DRIFT_FLOOR * reference, (
+            f"4-shard ingest speedup {at4:.2f}x drifted more than "
+            f"{(1 - BASELINE_DRIFT_FLOOR) * 100:.0f}% below the "
+            f"committed baseline's {reference:.2f}x"
+        )

@@ -7,9 +7,11 @@ made faulty.  Log analysis sees nothing at ERROR level; HANSEL reports
 a low-level message chain 30+ seconds later; GRETEL names the faulty
 high-level operation within its sliding window.
 
-The live consumer is the *sharded* analyzer (``repro.core.parallel``):
-wire events stream into per-capture-agent worker shards, each with its
-own sliding window and detector, and reports merge deterministically.
+The live consumer is the *sharded* analyzer (``repro.core.parallel``),
+built here via ``PipelineBuilder.build_sharded`` with a ``StageTimer``
+middleware shared by every shard: wire events stream into
+per-capture-agent worker shards, each composing its own pipeline
+(sliding window, detector, ...), and reports merge deterministically.
 Partitioning must keep fault contexts partition-local: on this
 single-cell topology the REST control plane (every symbol fingerprint
 matching uses, since RPCs are pruned, §6) egresses from the controller
@@ -23,8 +25,9 @@ Run:  python examples/parallel_fault_localization.py
 
 import random
 
-from repro import Cloud, GretelConfig, MonitoringPlane, ShardedAnalyzer, WorkloadRunner
+from repro import Cloud, GretelConfig, MonitoringPlane, PipelineBuilder, WorkloadRunner
 from repro.baselines.hansel import HanselAnalyzer
+from repro.core.pipeline import StageTimer
 from repro.baselines.loganalysis import LogAnalysisBaseline
 from repro.core.parallel import verify_equivalence
 from repro.evaluation.common import default_characterization, default_suite, p_rate_for
@@ -49,10 +52,14 @@ def main() -> None:
     plane = MonitoringPlane(cloud)
     computes = {node.name for node in default_topology().compute_nodes()}
     shard_key = agent_partition_key(computes)
-    analyzer = ShardedAnalyzer(
-        character.library, shards=4, key=shard_key, store=plane.store,
-        config=GretelConfig(p_rate=p_rate_for(120)),
-        track_latency=False,
+    timer = StageTimer()
+    analyzer = (
+        PipelineBuilder(character.library)
+        .with_store(plane.store)
+        .with_config(GretelConfig(p_rate=p_rate_for(120)))
+        .track_latency(False)
+        .with_middleware(timer)
+        .build_sharded(4, key=shard_key)
     )
     plane.subscribe_events(analyzer.on_event)
     plane.start()
@@ -111,6 +118,10 @@ def main() -> None:
               f"theta={report.theta:.4f}, "
               f"ground-truth operation in set: {hit}")
         print(f"    reported {report.report_delay:.2f}s after the fault")
+
+    print("\n  per-stage wall clock across all 4 shards (StageTimer):")
+    for line in timer.summary().splitlines():
+        print(f"    {line}")
 
     print("\n--- differential oracle (serial vs sharded on the wire log) ---")
     result = verify_equivalence(

@@ -38,6 +38,7 @@ from repro.core import (
     GretelConfig,
     Incident,
     IncidentAggregator,
+    PipelineBuilder,
     ShardedAnalyzer,
     SymbolTable,
     characterize_suite,
@@ -59,6 +60,7 @@ __all__ = [
     "Incident",
     "IncidentAggregator",
     "MonitoringPlane",
+    "PipelineBuilder",
     "ShardedAnalyzer",
     "SymbolTable",
     "WorkloadRunner",

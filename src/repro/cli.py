@@ -193,7 +193,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     import time
 
     from repro.core.config import GretelConfig
-    from repro.core.parallel import ShardedAnalyzer, verify_equivalence
+    from repro.core.parallel import verify_equivalence
+    from repro.core.pipeline import PipelineBuilder, StageCounters, StageTimer
     from repro.evaluation.common import default_characterization
     from repro.monitoring.store import MetadataStore
     from repro.workloads.traffic import SyntheticStream
@@ -209,10 +210,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     events = stream.events(args.events)
     config = GretelConfig(alpha=args.alpha)
 
-    analyzer = ShardedAnalyzer(
-        library, args.shards, batch_size=args.batch_size,
-        store=MetadataStore(), config=config,
-        track_latency=not args.no_latency, defer_detection=True,
+    builder = (
+        PipelineBuilder(library)
+        .with_store(MetadataStore())
+        .with_config(config)
+        .track_latency(not args.no_latency)
+        .defer_detection(True)
+    )
+    timer: "StageTimer | None" = None
+    counters: "StageCounters | None" = None
+    if args.stage_stats:
+        timer, counters = StageTimer(), StageCounters()
+        builder.with_middleware(timer).with_middleware(counters)
+    analyzer = builder.build_sharded(
+        args.shards, batch_size=args.batch_size
     )
     started = time.perf_counter()
     analyzer.ingest(events)
@@ -232,6 +243,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
           f"{snapshots} snapshots)")
     print(f"  reports: {len(analyzer.operational_reports)} operational, "
           f"{len(analyzer.performance_reports)} performance")
+
+    if timer is not None and counters is not None:
+        print("  per-stage wall clock (all shards, sorted by cost):")
+        for line in timer.summary().splitlines():
+            print(f"    {line}")
+        print("  per-stage items: "
+              + ", ".join(f"{stage}={items}"
+                          for stage, items in sorted(counters.items.items())))
 
     if args.verify_shards:
         result = verify_equivalence(
@@ -338,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--no-latency", action="store_true",
         help="disable per-API latency tracking (pure operational path)",
+    )
+    analyze.add_argument(
+        "--stage-stats", action="store_true",
+        help="attach StageTimer/StageCounters middleware to every "
+             "shard's pipeline and print per-stage cost",
     )
     analyze.add_argument(
         "--verify-shards", action="store_true",

@@ -19,8 +19,13 @@ This package implements the paper's primary contribution:
   adaptive context buffer;
 * :mod:`repro.core.rootcause` — Algorithm 3: metadata-driven root
   cause analysis;
-* :mod:`repro.core.analyzer` — the central analyzer service wiring
+* :mod:`repro.core.pipeline` — the composable stage graph (typed
+  stages, middleware, :class:`~repro.core.pipeline.PipelineBuilder`)
+  every execution engine runs (see ``docs/architecture.md``);
+* :mod:`repro.core.analyzer` — the serial execution engine wiring
   everything together;
+* :mod:`repro.core.parallel` — the sharded execution engine and the
+  serial-vs-sharded differential-correctness oracle;
 * :mod:`repro.core.characterize` — the offline fingerprinting
   pipeline over a (Tempest-like) suite (§7.1).
 """
@@ -39,11 +44,20 @@ from repro.core.parallel import (
 from repro.core.fingerprint import Fingerprint, FingerprintLibrary, generate_fingerprint
 from repro.core.incidents import Incident, IncidentAggregator
 from repro.core.outliers import LevelShiftDetector
+from repro.core.pipeline import (
+    AnalysisPipeline,
+    PipelineAnalyzer,
+    PipelineBuilder,
+    PipelineStats,
+    StageCounters,
+    StageTimer,
+)
 from repro.core.precision import theta
 from repro.core.reports import FaultReport, RootCauseFinding
 from repro.core.symbols import SymbolTable
 
 __all__ = [
+    "AnalysisPipeline",
     "AnalyzerShard",
     "CharacterizationResult",
     "DetectionResult",
@@ -57,9 +71,14 @@ __all__ = [
     "IncidentAggregator",
     "LevelShiftDetector",
     "OperationDetector",
+    "PipelineAnalyzer",
+    "PipelineBuilder",
+    "PipelineStats",
     "RootCauseFinding",
     "ShardDivergence",
     "ShardedAnalyzer",
+    "StageCounters",
+    "StageTimer",
     "SymbolTable",
     "characterize_suite",
     "generate_fingerprint",

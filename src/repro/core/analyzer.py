@@ -1,4 +1,4 @@
-"""The central GRETEL analyzer service.
+"""The central GRETEL analyzer service (serial execution engine).
 
 Wires the full §5 pipeline behind one ``on_event`` entry point:
 
@@ -13,33 +13,39 @@ Wires the full §5 pipeline behind one ``on_event`` entry point:
 5. a :class:`~repro.core.reports.FaultReport` is appended to
    :attr:`reports`.
 
-The analyzer is deliberately synchronous and allocation-light: the
-paper's throughput claims (§7.4.1) rest on the sliding window and the
-snapshot path being cheap, and the benchmark harness measures exactly
-this object's ``on_event`` loop.
+Since the pipeline refactor (see ``docs/architecture.md``) the chain
+itself lives in :class:`repro.core.pipeline.graph.AnalysisPipeline`;
+this class is the *serial execution engine*: a
+:class:`~repro.core.pipeline.facade.PipelineAnalyzer` facade plus the
+per-event intake loop.  The analyzer stays deliberately synchronous
+and allocation-light: the paper's throughput claims (§7.4.1) rest on
+the sliding window and the snapshot path being cheap, and the
+benchmark harness measures exactly this object's ``on_event`` loop.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Iterable, List, Optional
+from typing import Iterable, Optional
 
-from repro.openstack.catalog import ApiCatalog, default_catalog
+from repro.openstack.catalog import ApiCatalog
 from repro.openstack.wire import WireEvent
 from repro.core.config import GretelConfig
-from repro.core.detector import OperationDetector
 from repro.core.fingerprint import FingerprintLibrary
-from repro.core.latency import LatencyTracker, PerformanceAnomaly
-from repro.core.opfaults import is_operational_fault, is_rest_fault
-from repro.core.reports import FaultReport
-from repro.core.rootcause import RootCauseEngine
+from repro.core.pipeline.builder import PipelineBuilder
+from repro.core.pipeline.facade import PipelineAnalyzer
+from repro.core.pipeline.graph import AnalysisPipeline
 from repro.core.symbols import SymbolTable
-from repro.core.window import SlidingWindow, Snapshot
+from repro.core.window import BatchEncoder
 from repro.monitoring.store import MetadataStore
 
 
-class GretelAnalyzer:
-    """The assembled analyzer service."""
+class GretelAnalyzer(PipelineAnalyzer):
+    """The assembled analyzer service (serial engine).
+
+    Either pass a pre-wired ``pipeline`` (usually from
+    :meth:`repro.core.pipeline.builder.PipelineBuilder.build_serial`)
+    or the individual collaborators, which are forwarded to a builder.
+    """
 
     def __init__(
         self,
@@ -50,189 +56,33 @@ class GretelAnalyzer:
         config: Optional[GretelConfig] = None,
         track_latency: bool = True,
         defer_detection: bool = False,
-        encode_batch=None,
+        encode_batch: Optional[BatchEncoder] = None,
+        pipeline: Optional[AnalysisPipeline] = None,
     ):
-        self.catalog = catalog or default_catalog()
-        self.symbols = symbols or library.symbols
-        self.library = library
-        self.store = store or MetadataStore()
-        self.config = config or GretelConfig()
-        self.alpha = self.config.sliding_window_size(max(library.fp_max, 2))
-        # ``encode_batch`` (see repro.core.detector.batch_encoder) makes
-        # the window pre-encode symbols so snapshot matching can slice
-        # instead of re-encoding; the sharded analyzer turns it on.
-        self.window = SlidingWindow(self.alpha, encode_batch=encode_batch)
-        self.detector = OperationDetector(
-            library, self.symbols, self.catalog, self.config
-        )
-        self.rootcause = RootCauseEngine(self.store, self.config)
-        self.track_latency = track_latency
-        self.latency = LatencyTracker(self.config)
-        self.latency.on_anomaly(self._on_performance_anomaly)
+        if pipeline is None:
+            pipeline = (
+                PipelineBuilder(library)
+                .with_symbols(symbols)
+                .with_catalog(catalog)
+                .with_store(store)
+                .with_config(config)
+                .track_latency(track_latency)
+                .defer_detection(defer_detection)
+                .build(encode_batch=encode_batch)
+            )
+        super().__init__(pipeline)
 
-        #: When set, frozen snapshots are queued instead of analyzed
-        #: inline — the paper "spawns a new thread to detect the faulty
-        #: operations" (§5.3.1), so snapshotting never blocks the event
-        #: receiver.  Call :meth:`process_deferred` to drain the queue.
-        self.defer_detection = defer_detection
-        self._deferred: List[Snapshot] = []
-
-        self.reports: List[FaultReport] = []
-        self._listeners: List[Callable[[FaultReport], None]] = []
-        self._last_perf_analysis: dict = {}
-        self.events_processed = 0
-        self.bytes_processed = 0
-        self.operational_faults_seen = 0
-        self.analysis_seconds = 0.0
-
-    # -- wiring ------------------------------------------------------------
-
-    def on_report(self, callback: Callable[[FaultReport], None]) -> None:
-        """Register a fault-report consumer."""
-        self._listeners.append(callback)
-
-    # -- the event receiver ---------------------------------------------------
+    # -- the event receiver -----------------------------------------------
 
     def on_event(self, event: WireEvent) -> None:
         """Feed one wire event through the full pipeline."""
-        self.events_processed += 1
-        self.bytes_processed += event.size_bytes
-
-        completed = self.window.append(event)
-        for snapshot in completed:
-            if self.defer_detection:
-                self._deferred.append(snapshot)
-            else:
-                self._analyze_operational(snapshot)
-
-        if is_rest_fault(event):
-            # Snapshots trigger on REST errors only; RPC errors surface
-            # through the REST message back to the dashboard (§5.3.1).
-            self.operational_faults_seen += 1
-            self.window.mark_fault(event)
-        elif is_operational_fault(event):
-            self.operational_faults_seen += 1
-
-        if self.track_latency and not event.noise and not event.error:
-            self.latency.observe(event)
+        self.pipeline.process_event(event)
 
     def feed(self, events: Iterable[WireEvent]) -> int:
         """Pump a pre-recorded stream; returns the event count."""
+        process = self.pipeline.process_event
         count = 0
         for event in events:
-            self.on_event(event)
+            process(event)
             count += 1
         return count
-
-    def flush(self) -> None:
-        """Freeze all pending snapshots (end of stream / experiment)."""
-        for snapshot in self.window.flush():
-            if self.defer_detection:
-                self._deferred.append(snapshot)
-            else:
-                self._analyze_operational(snapshot)
-
-    def process_deferred(self) -> int:
-        """Analyze queued snapshots (the detection 'thread''s backlog)."""
-        drained = len(self._deferred)
-        for snapshot in self._deferred:
-            self._analyze_operational(snapshot)
-        self._deferred = []
-        return drained
-
-    # -- operational path ---------------------------------------------------------
-
-    def _analyze_operational(self, snapshot: Snapshot) -> None:
-        started = time.perf_counter()
-        detection = self.detector.detect(snapshot)
-        error_events = [e for e in snapshot.events if is_operational_fault(e)]
-        root_causes = self.rootcause.analyze(detection, error_events)
-        elapsed = time.perf_counter() - started
-        self.analysis_seconds += elapsed
-        delay = (
-            snapshot.events[-1].ts_response - snapshot.fault.ts_response
-            if snapshot.events else 0.0
-        )
-        report = FaultReport(
-            ts=snapshot.fault.ts_response,
-            kind="operational",
-            fault_event=snapshot.fault,
-            detection=detection,
-            root_causes=root_causes,
-            analysis_seconds=elapsed,
-            report_delay=delay,
-        )
-        self._publish(report)
-
-    # -- performance path ------------------------------------------------------------
-
-    def _perf_context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
-        """The live window contents forming a performance-fault context.
-
-        The serial analyzer observes latencies strictly in arrival
-        order, so the window *is* the α events ending at the anomalous
-        one.  The sharded analyzer appends in batches before observing
-        latencies and overrides this to reconstruct the same view.
-        """
-        return list(self.window._events)
-
-    def _on_performance_anomaly(self, anomaly: PerformanceAnomaly) -> None:
-        # A node-wide surge shifts many API series at once; re-running
-        # the snapshot match for every series adds nothing — debounce
-        # per API identity.
-        last = self._last_perf_analysis.get(anomaly.api_key)
-        if last is not None and anomaly.ts - last < self.config.perf_debounce:
-            return
-        self._last_perf_analysis[anomaly.api_key] = anomaly.ts
-
-        started = time.perf_counter()
-        # Performance faults use the entire context buffer, and the
-        # operation runs to completion — no truncation (§5.3.1).
-        events = self._perf_context(anomaly)
-        try:
-            fault_index = next(
-                i for i, e in enumerate(events) if e.seq == anomaly.event.seq
-            )
-        except StopIteration:
-            events.append(anomaly.event)
-            fault_index = len(events) - 1
-        cap = max(2, self.config.perf_buffer_cap)
-        if len(events) > cap:
-            lo = max(0, fault_index - cap // 2)
-            hi = min(len(events), lo + cap)
-            lo = max(0, hi - cap)
-            events = events[lo:hi]
-            fault_index -= lo
-        snapshot = Snapshot(fault=anomaly.event, events=events,
-                            fault_index=fault_index)
-        detection = self.detector.detect(snapshot, performance_fault=True)
-        root_causes = self.rootcause.analyze(detection)
-        elapsed = time.perf_counter() - started
-        self.analysis_seconds += elapsed
-        report = FaultReport(
-            ts=anomaly.ts,
-            kind="performance",
-            fault_event=anomaly.event,
-            detection=detection,
-            root_causes=root_causes,
-            performance=anomaly,
-            analysis_seconds=elapsed,
-        )
-        self._publish(report)
-
-    def _publish(self, report: FaultReport) -> None:
-        self.reports.append(report)
-        for callback in self._listeners:
-            callback(report)
-
-    # -- stats -----------------------------------------------------------------------
-
-    @property
-    def operational_reports(self) -> List[FaultReport]:
-        """Reports for operational faults."""
-        return [r for r in self.reports if r.kind == "operational"]
-
-    @property
-    def performance_reports(self) -> List[FaultReport]:
-        """Reports for performance faults."""
-        return [r for r in self.reports if r.kind == "performance"]

@@ -37,6 +37,7 @@ RPC symbols are pruned from fingerprints and buffer when
 
 from __future__ import annotations
 
+import re as _re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -92,9 +93,6 @@ def batch_encoder(
         return fragments
 
     return encode
-
-
-import re as _re
 
 
 @dataclass

@@ -5,6 +5,11 @@ connection metadata; RPC latencies pair on the oslo message id (§5.3).
 Our wire events already carry both timestamps, so the tracker consumes
 the observed latency directly and feeds one
 :class:`~repro.core.outliers.LevelShiftDetector` per API identity.
+
+In the composable pipeline this tracker is the state behind
+:class:`repro.core.pipeline.stages.LatencyStage`; anomalies it emits
+enter the performance path via
+:meth:`repro.core.pipeline.graph.AnalysisPipeline.process_anomaly`.
 """
 
 from __future__ import annotations

@@ -13,15 +13,16 @@ and nothing in the pipeline requires a total order across nodes.
 * events are routed to one of N :class:`AnalyzerShard` workers by a
   deterministic partition key (source node by default, first-seen
   round-robin assignment);
-* each shard owns its own :class:`~repro.core.window.SlidingWindow`,
-  :class:`~repro.core.latency.LatencyTracker` and
-  :class:`~repro.core.detector.OperationDetector`, so shards share no
-  mutable state and a step never crosses shard boundaries;
-* a shard step ingests a *chunk* of events: one cheap scan finds the
-  (rare) faults, fault-free runs land in the window via C-level
-  ``deque.extend``, symbols are encoded once per chunk
-  (:func:`repro.core.detector.batch_encoder`) instead of per event
-  per match iteration, and latencies are observed per chunk;
+* each shard composes its own
+  :class:`~repro.core.pipeline.graph.AnalysisPipeline` — the same
+  stage graph as the serial engine, wired by one shared
+  :class:`~repro.core.pipeline.builder.PipelineBuilder` — so shards
+  share no mutable state and a step never crosses shard boundaries;
+* a shard step ingests a *chunk* of events via the pipeline's chunked
+  entry: one cheap scan finds the (rare) faults, fault-free runs land
+  in the window via C-level ``deque.extend``, symbols are encoded once
+  per chunk (:func:`repro.core.detector.batch_encoder`) instead of per
+  event per match iteration, and latencies are observed per chunk;
 * the merge stage orders every shard's
   :class:`~repro.core.reports.FaultReport` deterministically by
   (fault event sequence, fault kind, report timestamp), so two runs
@@ -36,26 +37,27 @@ for single-source streams such as the Fig. 8c replay harness, and for
 any per-node capture deployment analyzed per agent); the oracle turns
 that property from an assumption into an assertion, and is wired into
 both the test suite and ``repro analyze --verify-shards``.  See
-``docs/parallelism.md``.
+``docs/parallelism.md`` and ``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import (
-    Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple,
+    Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
 )
 
 from repro.openstack.catalog import ApiCatalog
-from repro.openstack.apis import ApiKind
 from repro.openstack.wire import WireEvent
 from repro.core.analyzer import GretelAnalyzer
 from repro.core.config import GretelConfig
-from repro.core.detector import batch_encoder
 from repro.core.fingerprint import FingerprintLibrary
-from repro.core.latency import PerformanceAnomaly
-from repro.core.opfaults import is_operational_fault
+from repro.core.pipeline.builder import PipelineBuilder
+from repro.core.pipeline.facade import PipelineAnalyzer
+from repro.core.pipeline.graph import AnalysisPipeline
+from repro.core.pipeline.middleware import StageObserver
+from repro.core.pipeline.stages import STAT_FIELDS, PipelineStats
 from repro.core.reports import FaultReport
 from repro.core.symbols import SymbolTable
 from repro.monitoring.store import MetadataStore
@@ -104,100 +106,55 @@ def report_signature(report: FaultReport) -> ReportSignature:
     )
 
 
-class AnalyzerShard(GretelAnalyzer):
-    """One worker shard: a GRETEL analyzer with a batched event loop.
+class AnalyzerShard(PipelineAnalyzer):
+    """One worker shard: the stage graph with a batched event loop.
 
-    Inherits the full serial pipeline (snapshot analysis, performance
-    path, deferred-detection queue) and replaces the per-event receiver
-    with :meth:`ingest_batch`.  The shard's window pre-encodes symbols
-    per chunk, so its snapshots carry the context buffer in symbol form
-    and detection slices instead of re-encoding.
+    Composes the same :class:`AnalysisPipeline` as the serial engine
+    (snapshot analysis, performance path, deferred-detection queue)
+    and replaces the per-event receiver with :meth:`ingest_batch`.
+    The shard's pipeline is wired for chunked ingest: its window
+    pre-encodes symbols per chunk (so snapshots carry the context
+    buffer in symbol form and detection slices instead of
+    re-encoding), and its performance context keeps a recent-history
+    ring because latencies are observed once per chunk, after the
+    window has already advanced past the anomalous event.
     """
 
     def __init__(self, shard_id: int, library: FingerprintLibrary,
-                 *, batch_size: int = DEFAULT_BATCH_SIZE, **kwargs):
-        config = kwargs.get("config") or GretelConfig()
-        kwargs["config"] = config
-        symbols = kwargs.get("symbols") or library.symbols
-        super().__init__(
-            library, encode_batch=batch_encoder(symbols, config), **kwargs
-        )
+                 *, batch_size: int = DEFAULT_BATCH_SIZE,
+                 pipeline: Optional[AnalysisPipeline] = None, **kwargs):
         self.shard_id = shard_id
         self.batch_size = max(1, batch_size)
-        # Batching appends a whole chunk before observing its
-        # latencies, so the live window may have scrolled past the
-        # anomalous event; keep enough recent history to reconstruct
-        # the exact α events ending at the anomaly (see
-        # :meth:`_perf_context`).
-        self._recent: Optional[Deque[WireEvent]] = (
-            deque(maxlen=self.alpha + self.batch_size)
-            if self.track_latency else None
-        )
+        if pipeline is None:
+            pipeline = (
+                PipelineBuilder(library)
+                .with_symbols(kwargs.get("symbols"))
+                .with_catalog(kwargs.get("catalog"))
+                .with_store(kwargs.get("store"))
+                .with_config(kwargs.get("config"))
+                .track_latency(kwargs.get("track_latency", True))
+                .defer_detection(kwargs.get("defer_detection", False))
+                .build_batched(self.batch_size)
+            )
+        super().__init__(pipeline)
 
     def ingest_batch(self, chunk: Sequence[WireEvent]) -> None:
         """Process a FIFO run of this shard's events in batched steps.
 
-        Byte-equivalent to calling :meth:`on_event` per event: faults
-        mark the window at their exact positions, snapshots freeze
-        after their own α/2 successors, and latencies are observed in
-        arrival order.
+        Byte-equivalent to calling the serial engine's ``on_event``
+        per event: faults mark the window at their exact positions,
+        snapshots freeze after their own α/2 successors, and latencies
+        are observed in arrival order.
         """
         total = len(chunk)
         if not total:
             return
+        process = self.pipeline.process_chunk
         if total > self.batch_size:
             for start in range(0, total, self.batch_size):
-                self.ingest_batch(chunk[start:start + self.batch_size])
+                process(chunk[start:start + self.batch_size])
             return
-
-        self.events_processed += total
-        self.bytes_processed += sum(e.size_bytes for e in chunk)
-        if self._recent is not None:
-            self._recent.extend(chunk)
-
-        # One scan finds the rare faults; everything between them is a
-        # fault-free run the window ingests with a single extend.
-        window = self.window
-        rest = ApiKind.REST
-        completed = []
-        start = 0
-        for index, event in enumerate(chunk):
-            failed = event.status >= 400
-            if failed and event.kind is rest:
-                # Snapshots trigger on REST errors only (§5.3.1).
-                completed.extend(window.append_batch(chunk[start:index + 1]))
-                start = index + 1
-                self.operational_faults_seen += 1
-                window.mark_fault(event)
-            elif failed or (event.kind is not rest and event.body):
-                if is_operational_fault(event):
-                    self.operational_faults_seen += 1
-        if start < total:
-            completed.extend(window.append_batch(chunk[start:]))
-
-        for snapshot in completed:
-            if self.defer_detection:
-                self._deferred.append(snapshot)
-            else:
-                self._analyze_operational(snapshot)
-
-        if self.track_latency:
-            self.latency.observe_batch(chunk)
-
-    def _perf_context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
-        """Reconstruct the serial analyzer's window view at the anomaly.
-
-        The serial path observes each latency right after appending its
-        event, so its context is the α events ending at the anomalous
-        one; the batched path has already appended the rest of the
-        chunk.  The recent-history ring is sized α + batch, so the α
-        events at or before the anomaly are always still present.
-        """
-        if self._recent is None:
-            return super()._perf_context(anomaly)
-        seq = anomaly.event.seq
-        events = [e for e in self._recent if e.seq <= seq]
-        return events[-self.alpha:]
+        process(chunk)
 
 
 class ShardedAnalyzer:
@@ -207,6 +164,9 @@ class ShardedAnalyzer:
     ``feed`` / ``flush`` / ``process_deferred`` / ``reports`` /
     counters) so callers can swap it in; events are routed to shards
     by ``key`` and buffered into chunks of ``batch_size`` per shard.
+    Aggregate counters come from merging the shards'
+    :class:`~repro.core.pipeline.stages.PipelineStats` instead of a
+    hand-written property per counter.
     """
 
     def __init__(
@@ -222,6 +182,10 @@ class ShardedAnalyzer:
         config: Optional[GretelConfig] = None,
         track_latency: bool = True,
         defer_detection: bool = False,
+        middleware: Sequence[StageObserver] = (),
+        report_listeners: Sequence[
+            Callable[[FaultReport], None]
+        ] = (),
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -230,12 +194,23 @@ class ShardedAnalyzer:
         self.batch_size = max(1, batch_size)
         self.store = store or MetadataStore()
         self.config = config or GretelConfig()
+        builder = (
+            PipelineBuilder(library)
+            .with_symbols(symbols)
+            .with_catalog(catalog)
+            .with_store(self.store)
+            .with_config(self.config)
+            .track_latency(track_latency)
+            .defer_detection(defer_detection)
+        )
+        for observer in middleware:
+            builder.with_middleware(observer)
+        for callback in report_listeners:
+            builder.on_report(callback)
         self.shards: List[AnalyzerShard] = [
             AnalyzerShard(
                 index, library, batch_size=self.batch_size,
-                symbols=symbols, catalog=catalog, store=self.store,
-                config=self.config, track_latency=track_latency,
-                defer_detection=defer_detection,
+                pipeline=builder.build_batched(self.batch_size),
             )
             for index in range(shards)
         ]
@@ -354,30 +329,20 @@ class ShardedAnalyzer:
 
     # -- aggregate stats ---------------------------------------------------
 
-    @property
-    def events_processed(self) -> int:
-        """Events ingested across all shards."""
-        return sum(s.events_processed for s in self.shards)
+    def stats(self) -> PipelineStats:
+        """Counters merged across all shards."""
+        return PipelineStats.merged(s.stats() for s in self.shards)
 
-    @property
-    def bytes_processed(self) -> int:
-        """Wire bytes ingested across all shards."""
-        return sum(s.bytes_processed for s in self.shards)
-
-    @property
-    def operational_faults_seen(self) -> int:
-        """Operational faults observed across all shards."""
-        return sum(s.operational_faults_seen for s in self.shards)
-
-    @property
-    def analysis_seconds(self) -> float:
-        """Total detection wall clock across all shards."""
-        return sum(s.analysis_seconds for s in self.shards)
-
-    @property
-    def snapshots_taken(self) -> int:
-        """Snapshots frozen across all shards."""
-        return sum(s.window.snapshots_taken for s in self.shards)
+    def __getattr__(self, name: str):
+        # Aggregate counters (events_processed, bytes_processed,
+        # operational_faults_seen, snapshots_taken, analysis_seconds)
+        # resolve against the merged per-shard stats — one merge rule
+        # instead of a hand-written delegating property per counter.
+        if name in STAT_FIELDS:
+            return getattr(self.stats(), name)
+        raise AttributeError(
+            f"{type(self).__name__!s} has no attribute {name!r}"
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Thin analyzer facade over one wired :class:`AnalysisPipeline`.
+
+Execution engines (`GretelAnalyzer`, `AnalyzerShard`) extend this with
+their event-intake loop only; everything else — collaborator access,
+reports, counters, draining — delegates to the pipeline, so engines
+*compose* the stage graph instead of re-implementing it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.core.config import GretelConfig
+from repro.core.detector import OperationDetector
+from repro.core.fingerprint import FingerprintLibrary
+from repro.core.latency import LatencyTracker
+from repro.core.pipeline.graph import AnalysisPipeline
+from repro.core.pipeline.stages import PipelineStats
+from repro.core.reports import FaultReport
+from repro.core.rootcause import RootCauseEngine
+from repro.core.symbols import SymbolTable
+from repro.core.window import SlidingWindow
+from repro.monitoring.store import MetadataStore
+from repro.openstack.catalog import ApiCatalog
+
+
+class PipelineAnalyzer:
+    """Common analyzer surface shared by every execution engine."""
+
+    def __init__(self, pipeline: AnalysisPipeline) -> None:
+        self.pipeline = pipeline
+
+    # -- collaborators ----------------------------------------------------
+
+    @property
+    def library(self) -> FingerprintLibrary:
+        return self.pipeline.library
+
+    @property
+    def symbols(self) -> SymbolTable:
+        return self.pipeline.symbols
+
+    @property
+    def catalog(self) -> ApiCatalog:
+        return self.pipeline.catalog
+
+    @property
+    def store(self) -> MetadataStore:
+        return self.pipeline.store
+
+    @property
+    def config(self) -> GretelConfig:
+        return self.pipeline.config
+
+    @property
+    def alpha(self) -> int:
+        """Sliding-window size α (§5.3.1)."""
+        return self.pipeline.alpha
+
+    @property
+    def window(self) -> SlidingWindow:
+        return self.pipeline.window
+
+    @property
+    def detector(self) -> OperationDetector:
+        return self.pipeline.detector
+
+    @property
+    def latency(self) -> LatencyTracker:
+        return self.pipeline.tracker
+
+    @property
+    def rootcause(self) -> RootCauseEngine:
+        return self.pipeline.engine
+
+    @property
+    def track_latency(self) -> bool:
+        return self.pipeline.latency.enabled
+
+    @property
+    def defer_detection(self) -> bool:
+        return self.pipeline.defer_detection
+
+    # -- reports ----------------------------------------------------------
+
+    @property
+    def reports(self) -> List[FaultReport]:
+        return self.pipeline.reports
+
+    @property
+    def operational_reports(self) -> List[FaultReport]:
+        """Reports for operational faults."""
+        return [r for r in self.reports if r.kind == "operational"]
+
+    @property
+    def performance_reports(self) -> List[FaultReport]:
+        """Reports for performance faults."""
+        return [r for r in self.reports if r.kind == "performance"]
+
+    def on_report(self, callback: Callable[[FaultReport], None]) -> None:
+        """Register a fault-report consumer."""
+        self.pipeline.publish.subscribe(callback)
+
+    # -- counters ---------------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        return self.pipeline.ingest.events_processed
+
+    @property
+    def bytes_processed(self) -> int:
+        return self.pipeline.ingest.bytes_processed
+
+    @property
+    def operational_faults_seen(self) -> int:
+        return self.pipeline.faults.operational_faults_seen
+
+    @property
+    def analysis_seconds(self) -> float:
+        return self.pipeline.publish.analysis_seconds
+
+    def stats(self) -> PipelineStats:
+        """Mergeable snapshot of the pipeline's counters."""
+        return self.pipeline.stats()
+
+    # -- draining ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Freeze all pending snapshots (end of stream / experiment)."""
+        self.pipeline.flush()
+
+    def process_deferred(self) -> int:
+        """Analyze queued snapshots (the detection 'thread''s backlog)."""
+        return self.pipeline.process_deferred()

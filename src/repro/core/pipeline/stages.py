@@ -1,0 +1,294 @@
+"""Typed stages of the GRETEL analysis chain (§5, Fig. 1).
+
+Each stage owns exactly one concern of the paper's runtime — counting
+ingested wire bytes, scanning for operational faults, the dual-buffer
+sliding window (§5.3.1), per-API latency observation, Algorithm 2
+operation detection, Algorithm 3 root-cause search, and report
+publication — together with the counters that concern produces.
+Stages hold *state*; the control flow lives in
+:class:`repro.core.pipeline.graph.AnalysisPipeline` so every
+execution engine (serial, sharded, future async) runs the same graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import (
+    Callable,
+    Deque,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.detector import DetectionResult, OperationDetector
+from repro.core.latency import LatencyTracker, PerformanceAnomaly
+from repro.core.opfaults import is_operational_fault
+from repro.core.reports import FaultReport, RootCauseFinding
+from repro.core.rootcause import RootCauseEngine
+from repro.core.window import SlidingWindow, Snapshot
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """Mergeable snapshot of one pipeline's counters.
+
+    ``ShardedAnalyzer`` sums one of these per shard instead of
+    delegating each counter by hand.
+    """
+
+    events_processed: int = 0
+    bytes_processed: int = 0
+    operational_faults_seen: int = 0
+    snapshots_taken: int = 0
+    analysis_seconds: float = 0.0
+
+    def __add__(self, other: "PipelineStats") -> "PipelineStats":
+        return PipelineStats(
+            events_processed=(
+                self.events_processed + other.events_processed
+            ),
+            bytes_processed=self.bytes_processed + other.bytes_processed,
+            operational_faults_seen=(
+                self.operational_faults_seen
+                + other.operational_faults_seen
+            ),
+            snapshots_taken=self.snapshots_taken + other.snapshots_taken,
+            analysis_seconds=(
+                self.analysis_seconds + other.analysis_seconds
+            ),
+        )
+
+    @classmethod
+    def merged(cls, parts: Iterable["PipelineStats"]) -> "PipelineStats":
+        total = cls()
+        for part in parts:
+            total = total + part
+        return total
+
+
+STAT_FIELDS: Tuple[str, ...] = tuple(
+    field.name for field in fields(PipelineStats)
+)
+
+
+class IngestStage:
+    """Event-receiver accounting (§5.2): events and wire bytes seen."""
+
+    def __init__(self) -> None:
+        self.events_processed = 0
+        self.bytes_processed = 0
+
+    def count_one(self, event: WireEvent) -> None:
+        self.events_processed += 1
+        self.bytes_processed += event.size_bytes
+
+    def count(self, chunk: Sequence[WireEvent]) -> None:
+        self.events_processed += len(chunk)
+        self.bytes_processed += sum(e.size_bytes for e in chunk)
+
+
+class FaultScanStage:
+    """Operational-fault scan (§5.3.1).
+
+    REST error responses (status ≥ 400) freeze the window; RPC bodies
+    are scanned for error markers and counted but — matching the
+    paper's REST-triggered snapshots — do not freeze it.
+    """
+
+    def __init__(self) -> None:
+        self.operational_faults_seen = 0
+
+    def scan_one(self, event: WireEvent) -> bool:
+        """Count ``event`` if faulty; return True if it freezes the
+        window (i.e. it is a REST error response)."""
+        if event.kind is ApiKind.REST and event.status >= 400:
+            self.operational_faults_seen += 1
+            return True
+        if is_operational_fault(event):
+            self.operational_faults_seen += 1
+        return False
+
+    def scan(
+        self, chunk: Sequence[WireEvent]
+    ) -> List[Tuple[int, WireEvent]]:
+        """Scan a chunk; return ``(index, event)`` window-freeze cuts.
+
+        Replicates :meth:`scan_one` over the chunk in one pass so the
+        batched engines can split window appends at each cut.
+        """
+        cuts: List[Tuple[int, WireEvent]] = []
+        rest = ApiKind.REST
+        for index, event in enumerate(chunk):
+            failed = event.status >= 400
+            if failed and event.kind is rest:
+                self.operational_faults_seen += 1
+                cuts.append((index, event))
+            elif failed or (event.kind is not rest and event.body):
+                if is_operational_fault(event):
+                    self.operational_faults_seen += 1
+        return cuts
+
+
+class WindowStage:
+    """Dual-buffer sliding window of the last α events (§5.3.1)."""
+
+    def __init__(self, window: SlidingWindow) -> None:
+        self.window = window
+
+    @property
+    def snapshots_taken(self) -> int:
+        return self.window.snapshots_taken
+
+    def push(self, event: WireEvent) -> List[Snapshot]:
+        return self.window.append(event)
+
+    def mark(self, fault: WireEvent) -> None:
+        self.window.mark_fault(fault)
+
+    def push_runs(
+        self,
+        chunk: Sequence[WireEvent],
+        cuts: Sequence[Tuple[int, WireEvent]],
+    ) -> List[Snapshot]:
+        """Append ``chunk`` split at each fault cut, marking faults in
+        stream order, exactly as per-event push/mark would."""
+        window = self.window
+        completed: List[Snapshot] = []
+        start = 0
+        for index, fault in cuts:
+            completed.extend(window.append_batch(chunk[start:index + 1]))
+            start = index + 1
+            window.mark_fault(fault)
+        if start < len(chunk):
+            completed.extend(window.append_batch(chunk[start:]))
+        return completed
+
+    def flush(self) -> List[Snapshot]:
+        return self.window.flush()
+
+
+class LatencyStage:
+    """Per-API latency observation feeding level-shift detectors
+    (§5.3.2); disabled engines skip the tracker entirely."""
+
+    def __init__(self, tracker: LatencyTracker, enabled: bool = True):
+        self.tracker = tracker
+        self.enabled = enabled
+
+    def observe_one(self, event: WireEvent) -> None:
+        if self.enabled and not event.noise and not event.error:
+            self.tracker.observe(event)
+
+    def observe_chunk(self, chunk: Sequence[WireEvent]) -> None:
+        if self.enabled:
+            self.tracker.observe_batch(chunk)
+
+    def on_anomaly(
+        self, callback: Callable[[PerformanceAnomaly], None]
+    ) -> None:
+        self.tracker.on_anomaly(callback)
+
+
+class DetectionStage:
+    """Algorithm 2: truncated-fingerprint operation detection."""
+
+    def __init__(self, detector: OperationDetector) -> None:
+        self.detector = detector
+
+    def detect(
+        self, snapshot: Snapshot, *, performance_fault: bool = False
+    ) -> DetectionResult:
+        return self.detector.detect(
+            snapshot, performance_fault=performance_fault
+        )
+
+
+class RootCauseStage:
+    """Algorithm 3: resource/software metadata root-cause search."""
+
+    def __init__(self, engine: RootCauseEngine) -> None:
+        self.engine = engine
+
+    def analyze(
+        self,
+        detection: DetectionResult,
+        error_events: Optional[Sequence[WireEvent]] = None,
+    ) -> List[RootCauseFinding]:
+        return self.engine.analyze(detection, error_events)
+
+
+class PublishStage:
+    """Report sink: the ordered report log plus registered listeners."""
+
+    def __init__(self) -> None:
+        self.reports: List[FaultReport] = []
+        self.analysis_seconds = 0.0
+        self._listeners: List[Callable[[FaultReport], None]] = []
+
+    def subscribe(self, callback: Callable[[FaultReport], None]) -> None:
+        self._listeners.append(callback)
+
+    def emit(self, report: FaultReport) -> None:
+        self.analysis_seconds += report.analysis_seconds
+        self.reports.append(report)
+        for callback in self._listeners:
+            callback(report)
+
+
+class PerfContext(Protocol):
+    """Strategy for reconstructing the α-event context around a
+    performance anomaly (§5.3.2)."""
+
+    @property
+    def needs_history(self) -> bool:
+        """True if the pipeline must feed every event to :meth:`track`."""
+
+    def track(self, events: Sequence[WireEvent]) -> None:
+        """Record recently ingested events (history-keeping only)."""
+
+    def context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
+        """The α (or fewer) events ending at the anomalous one."""
+
+
+class WindowPerfContext:
+    """Serial engines: the live sliding window *is* the α events
+    ending at the anomaly, because latencies are observed in arrival
+    order immediately after each append."""
+
+    needs_history = False
+
+    def __init__(self, window: SlidingWindow) -> None:
+        self._window = window
+
+    def track(self, events: Sequence[WireEvent]) -> None:
+        return None
+
+    def context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
+        return self._window.live_events()
+
+
+class RecentHistoryPerfContext:
+    """Batched engines: latencies are observed once per chunk, after
+    the window has already advanced past the anomalous event, so keep
+    a ring of the last α + chunk events and cut it at the anomaly."""
+
+    needs_history = True
+
+    def __init__(self, alpha: int, depth: int) -> None:
+        self.alpha = alpha
+        self._recent: Deque[WireEvent] = deque(maxlen=depth)
+
+    def track(self, events: Sequence[WireEvent]) -> None:
+        self._recent.extend(events)
+
+    def context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
+        seq = anomaly.event.seq
+        events = [e for e in self._recent if e.seq <= seq]
+        return events[-self.alpha:]

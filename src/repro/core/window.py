@@ -137,6 +137,15 @@ class SlidingWindow:
         self.appended = base + total
         return completed
 
+    def live_events(self) -> List[WireEvent]:
+        """A copy of the current window contents, oldest first.
+
+        Public view for consumers that need the live window — e.g. the
+        serial performance-fault context (§5.3.1), which is exactly the
+        α events ending at the most recently appended one.
+        """
+        return list(self._events)
+
     def mark_fault(self, fault: WireEvent) -> None:
         """Register a fault; its snapshot freezes after α/2 more events."""
         fault_symbol = (

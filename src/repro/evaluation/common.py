@@ -16,6 +16,7 @@ from repro.openstack.catalog import default_catalog
 from repro.core.analyzer import GretelAnalyzer
 from repro.core.characterize import CharacterizationResult, characterize_suite
 from repro.core.config import GretelConfig
+from repro.core.pipeline import PipelineBuilder
 from repro.core.reports import FaultReport
 from repro.core.symbols import SymbolTable
 from repro.monitoring.plane import MonitoringPlane
@@ -111,9 +112,12 @@ def make_monitored_analyzer(
     plane = MonitoringPlane(cloud)
     if config is None:
         config = GretelConfig(p_rate=p_rate_for(concurrency))
-    analyzer = GretelAnalyzer(
-        character.library, store=plane.store, config=config,
-        track_latency=track_latency,
+    analyzer = (
+        PipelineBuilder(character.library)
+        .with_store(plane.store)
+        .with_config(config)
+        .track_latency(track_latency)
+        .build_serial()
     )
     plane.subscribe_events(analyzer.on_event)
     plane.start()

@@ -1,10 +1,14 @@
 """Tests for the sharded analyzer and its differential oracle."""
 
+from dataclasses import replace
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.openstack.apis import ApiKind
 from repro.core.analyzer import GretelAnalyzer
 from repro.core.config import GretelConfig
+from repro.core.latency import PerformanceAnomaly
 from repro.core.parallel import (
     ShardDivergence,
     ShardedAnalyzer,
@@ -173,6 +177,132 @@ def test_report_kind_views(library):
     assert all(r.kind == "performance" for r in analyzer.performance_reports)
     assert len(analyzer.operational_reports) \
         + len(analyzer.performance_reports) == len(analyzer.reports)
+
+
+# ---------------------------------------------------------------------------
+# Deferred detection on the sharded analyzer
+# ---------------------------------------------------------------------------
+
+def test_sharded_deferred_detection_queues_snapshots(library):
+    events = make_stream(library, fault_every=40).events(1200)
+
+    deferred = ShardedAnalyzer(library, 3, batch_size=64, config=config(),
+                               track_latency=False, defer_detection=True)
+    deferred.ingest(events)
+    deferred.flush()
+    # Snapshots froze but nothing was analyzed yet.
+    assert deferred.snapshots_taken > 0
+    assert deferred.reports == []
+    assert deferred.analysis_seconds == 0.0
+
+    drained = deferred.process_deferred()
+    assert drained == deferred.snapshots_taken
+    assert len(deferred.reports) == drained > 0
+    # Draining twice is a no-op.
+    assert deferred.process_deferred() == 0
+    assert len(deferred.reports) == drained
+
+    inline = ShardedAnalyzer(library, 3, batch_size=64, config=config(),
+                             track_latency=False)
+    inline.ingest(events)
+    inline.flush()
+    assert [report_signature(r) for r in deferred.reports] == \
+        [report_signature(r) for r in inline.reports]
+
+
+def test_sharded_deferred_equivalent_to_serial_deferred(library):
+    events = make_stream(library, fault_every=30).events(1500)
+    result = verify_equivalence(
+        events, library, 4, batch_size=96, config=config(),
+        track_latency=False, defer_detection=True, strict=True,
+    )
+    assert result.ok
+    assert result.serial_reports > 0
+
+
+# ---------------------------------------------------------------------------
+# Performance path on the sharded analyzer
+# ---------------------------------------------------------------------------
+
+def perf_template(library):
+    """A healthy REST event whose API the symbol table knows."""
+    return next(
+        e for e in make_stream(library).events(200)
+        if e.kind is ApiKind.REST and e.status < 400 and not e.noise
+    )
+
+
+def perf_config():
+    # Low-warmup level-shift settings so an 80-event series triggers.
+    return GretelConfig(ls_warmup=12, ls_confirm=3, ls_min_delta=0.004,
+                        p_rate=150.0)
+
+
+def level_shift_events(library):
+    """One API's series: 60 steady latencies, then a 0.08 s shift."""
+    template = perf_template(library)
+
+    def event(seq, latency):
+        ts = seq * 0.1
+        return replace(template, seq=seq, ts_request=ts - latency,
+                       ts_response=ts)
+
+    steady = [event(seq, 0.010 + (seq % 3) * 0.0005)
+              for seq in range(60)]
+    shifted = [event(seq, 0.080) for seq in range(60, 80)]
+    return steady + shifted
+
+
+def test_sharded_performance_path_reports_anomaly(library):
+    events = level_shift_events(library)
+    analyzer = ShardedAnalyzer(library, 2, batch_size=16,
+                               config=perf_config(), track_latency=True)
+    analyzer.ingest(events)
+    analyzer.flush()
+    assert len(analyzer.performance_reports) == 1
+    report = analyzer.performance_reports[0]
+    assert report.performance is not None
+    assert report.performance.api_key == events[0].api_key
+
+
+def test_sharded_performance_path_equivalent_to_serial(library):
+    """The batched recent-history context reconstructs the serial
+    window view: the performance diagnosis must match exactly."""
+    events = level_shift_events(library)
+    result = verify_equivalence(
+        events, library, 2, batch_size=16, config=perf_config(),
+        track_latency=True, strict=True,
+    )
+    assert result.ok
+    assert result.serial_reports >= 1  # at least the perf report
+
+
+def test_sharded_perf_debounce_suppresses_repeat_anomalies(library):
+    config = perf_config()
+    analyzer = ShardedAnalyzer(library, 2, batch_size=16, config=config,
+                               track_latency=True)
+    shard = analyzer.shards[0]
+    trigger = perf_template(library)
+
+    def anomaly(ts):
+        return PerformanceAnomaly(api_key=trigger.api_key, ts=ts,
+                                  observed=0.08, baseline=0.01,
+                                  event=trigger)
+
+    shard.pipeline.process_anomaly(anomaly(ts=100.0))
+    assert len(shard.performance_reports) == 1
+    # Within the debounce interval on the same API: suppressed.
+    shard.pipeline.process_anomaly(
+        anomaly(ts=100.0 + config.perf_debounce / 2)
+    )
+    assert len(shard.performance_reports) == 1
+    # Beyond the debounce interval: analyzed again.
+    shard.pipeline.process_anomaly(
+        anomaly(ts=100.0 + 2 * config.perf_debounce)
+    )
+    assert len(shard.performance_reports) == 2
+    # The merged view sees only this shard's reports.
+    assert len(analyzer.performance_reports) == 2
 
 
 # ---------------------------------------------------------------------------

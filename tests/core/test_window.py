@@ -242,3 +242,17 @@ def test_append_batch_equals_append(alpha, chunks, fault_at):
     for ours, theirs in zip(batched_flushed, serial_flushed):
         assert ours.fault.seq == theirs.fault.seq
         assert ours.fault_index == theirs.fault_index
+
+
+def test_live_events_is_a_public_snapshot_of_the_window():
+    window = SlidingWindow(alpha=4)
+    assert window.live_events() == []
+    events = [make_event(seq) for seq in range(6)]
+    for event in events:
+        window.append(event)
+    live = window.live_events()
+    # Oldest-first view of the last alpha events.
+    assert [e.seq for e in live] == [2, 3, 4, 5]
+    # A copy, not the deque itself: mutating it leaves the window alone.
+    live.pop()
+    assert [e.seq for e in window.live_events()] == [2, 3, 4, 5]
