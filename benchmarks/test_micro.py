@@ -56,11 +56,9 @@ def test_prefix_lcs(benchmark, character):
     assert lengths[-1] == len(needle)
 
 
-def test_operation_detection(benchmark, character):
-    """One full Algorithm-2 pass on a realistic snapshot."""
+def _detection_fixture(character, **overrides):
     from repro.core.config import GretelConfig
     from repro.core.detector import OperationDetector
-    from repro.core.symbols import SymbolTable
     from repro.core.window import Snapshot
     from repro.workloads.traffic import SyntheticStream
 
@@ -73,8 +71,84 @@ def test_operation_detection(benchmark, character):
                         fault_index=events.index(fault))
     detector = OperationDetector(
         character.library, character.library.symbols, catalog,
-        GretelConfig(p_rate=1300.0),
+        GretelConfig(p_rate=1300.0, **overrides),
     )
+    return detector, snapshot
+
+
+def _growth_windows(detector, snapshot):
+    """The (lo, hi) schedule the adaptive loop visits, precomputed."""
+    config = detector.config
+    alpha = max(len(snapshot.events), 2)
+    beta = max(1, config.context_buffer_start(alpha) // 2)
+    delta = config.context_buffer_step(alpha)
+    windows = []
+    while True:
+        windows.append(snapshot.bounds(beta))
+        if snapshot.covers_all(beta):
+            return windows
+        beta += delta
+
+
+def test_operation_detection(benchmark, character):
+    """One full Algorithm-2 pass on a realistic snapshot
+    (incremental engine, the production default)."""
+    detector, snapshot = _detection_fixture(character)
 
     result = benchmark(detector.detect, snapshot)
     assert result.candidates > 0
+
+
+def test_operation_detection_reference(benchmark, character):
+    """The same pass with the from-scratch reference scorer — the
+    before/after pair for the incremental engine."""
+    detector, snapshot = _detection_fixture(character,
+                                            incremental_match=False)
+
+    result = benchmark(detector.detect, snapshot)
+    assert result.candidates > 0
+
+
+def test_score_fresh(benchmark, character):
+    """From-scratch scoring across one β growth schedule: every
+    iteration re-joins, re-strips and re-runs the LCS over the whole
+    window (the reference scorer's cost model)."""
+    detector, snapshot = _detection_fixture(character)
+    candidates = detector.candidates_for(snapshot.fault.api_key)
+    windows = _growth_windows(detector, snapshot)
+
+    def run():
+        finalized = {}
+        scores = {}
+        for lo, hi in windows:
+            scores = detector._score(
+                candidates,
+                detector._buffer_symbols(snapshot, lo, hi, ""),
+                finalized,
+            )
+        return scores
+
+    assert benchmark(run)
+
+
+def test_score_incremental(benchmark, character):
+    """The same growth schedule through a MatchSession: per iteration
+    only the changed span is re-scored (O(δ) steady state)."""
+    detector, snapshot = _detection_fixture(character)
+    candidates = detector.candidates_for(snapshot.fault.api_key)
+    windows = _growth_windows(detector, snapshot)
+    fragments = detector._session_fragments(snapshot, "")
+
+    def run():
+        session = detector.matching.session(
+            fragments, candidates,
+            threshold=detector.config.match_coverage,
+            strict=not detector.config.relaxed_match,
+        )
+        finalized = {}
+        scores = {}
+        for lo, hi in windows:
+            scores = session.score(lo, hi, finalized)
+        return scores
+
+    assert benchmark(run)

@@ -251,6 +251,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("  per-stage items: "
               + ", ".join(f"{stage}={items}"
                           for stage, items in sorted(counters.items.items())))
+        stats = analyzer.stats()
+        print("  detection engine: "
+              f"candidates_gated={stats.candidates_gated}, "
+              f"lcs_row_extensions={stats.lcs_row_extensions}, "
+              f"lcs_symbols_fed={stats.lcs_symbols_fed}")
 
     if args.verify_shards:
         result = verify_equivalence(

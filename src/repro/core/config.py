@@ -54,6 +54,13 @@ class GretelConfig:
     #: Stop growing the context buffer after this many iterations
     #: without ranking improvement (the θ-drop stopping rule).
     stop_patience: int = 3
+    #: Score context-buffer iterations with the incremental matching
+    #: engine (``repro.core.matching``): per-candidate bit-rows kept
+    #: alive across β growth, so each iteration costs O(δ) instead of
+    #: O(β).  Bit-identical to the from-scratch reference scorer —
+    #: ``repro.core.matching.oracle.verify_detection`` is the proof —
+    #: so this is a pure performance switch; off runs the reference.
+    incremental_match: bool = True
 
     #: §5.3.1 future work: "OpenStack is in the process of introducing
     #: a correlation identifier to tie together requests ... GRETEL can

@@ -38,14 +38,25 @@ RPC symbols are pruned from fingerprints and buffer when
 from __future__ import annotations
 
 import re as _re
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.openstack.apis import ApiKind
 from repro.openstack.catalog import ApiCatalog
 from repro.openstack.wire import WireEvent
 from repro.core.config import GretelConfig
 from repro.core.fingerprint import Fingerprint, FingerprintLibrary, prefix_lcs_lengths
+from repro.core.matching.engine import MatchingEngine, MatchSession, select_cut
 from repro.core.precision import theta
 from repro.core.symbols import SymbolTable
 from repro.core.window import Snapshot
@@ -109,25 +120,48 @@ class _Candidate:
     full_symbols: str
     pure_read: bool
     alphabet: FrozenSet[str] = field(default_factory=frozenset)
+    #: Needle symbol multiplicities, feeding :meth:`upper_bound`.
+    needle_counts: Dict[str, int] = field(default_factory=dict)
     _foreign: Optional["_re.Pattern"] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        source = self.full_symbols if self.pure_read else self.sc_symbols
+        source = self.needle
         self.alphabet = frozenset(source)
-        if source:
-            # C-speed removal of symbols outside the candidate's
-            # alphabet before the (Python-level) LCS.
-            self._foreign = _re.compile(
-                "[^" + _re.escape("".join(sorted(self.alphabet))) + "]+"
-            )
+        self.needle_counts = dict(Counter(source))
 
-    def upper_bound(self, buffer_alphabet: FrozenSet[str]) -> float:
-        """Cheap coverage upper bound from symbol-set intersection."""
-        source = self.full_symbols if self.pure_read else self.sc_symbols
+    @property
+    def needle(self) -> str:
+        """The symbol string the candidate is scored on."""
+        return self.full_symbols if self.pure_read else self.sc_symbols
+
+    @property
+    def final_length(self) -> int:
+        """Corroborated length at which a candidate's score can no
+        longer improve — the longest cut, fully covered.  Shorter cuts
+        at coverage 1.0 could still be overtaken by a longer cut as
+        the buffer grows, so they do not finalize."""
+        return (len(self.full_symbols) if self.pure_read
+                else self.cut_lengths[-1])
+
+    def upper_bound(self, buffer_counts: Mapping[str, int]) -> float:
+        """Coverage upper bound from symbol multiplicities.
+
+        ``Σ min(needle count, buffer count) / len(needle)``: an LCS
+        cannot use a buffer symbol more often than the buffer holds
+        it, so a needle ``XX`` is not credited twice by a buffer with
+        a single ``X`` (the set-intersection bound this replaces did).
+        Monotone nondecreasing under buffer growth, which both the
+        gate and the adaptive loop's ``finalized`` set rely on.
+        """
+        source = self.needle
         if not source:
             return 0.0
-        missing = sum(1 for c in source if c not in buffer_alphabet)
-        return (len(source) - missing) / len(source)
+        get = buffer_counts.get
+        matched = 0
+        for symbol, count in self.needle_counts.items():
+            have = get(symbol, 0)
+            matched += count if count < have else have
+        return matched / len(source)
 
     def score(self, buffer_symbols: str) -> Tuple[int, float]:
         """Best (corroborated length, coverage) over truncation points.
@@ -136,23 +170,24 @@ class _Candidate:
         fingerprint and the buffer — how many of the operation's
         ordered symbols the buffer actually witnesses.
         """
-        if self._foreign is not None:
-            buffer_symbols = self._foreign.sub("", buffer_symbols)
+        foreign = self._foreign
+        if foreign is None and self.alphabet:
+            # C-speed removal of symbols outside the candidate's
+            # alphabet before the (Python-level) LCS.  Compiled on
+            # first use: the incremental engine never strips, so most
+            # candidates never pay the compile.
+            foreign = _re.compile(
+                "[^" + _re.escape("".join(sorted(self.alphabet))) + "]+"
+            )
+            self._foreign = foreign
+        if foreign is not None:
+            buffer_symbols = foreign.sub("", buffer_symbols)
         if self.pure_read:
             lengths = prefix_lcs_lengths(self.full_symbols, buffer_symbols)
             total = max(1, len(self.full_symbols))
             return lengths[-1], lengths[-1] / total
         lengths = prefix_lcs_lengths(self.sc_symbols, buffer_symbols)
-        best: Tuple[int, float] = (0, 0.0)
-        for cut in self.cut_lengths:
-            if cut <= 0:
-                continue
-            candidate = (lengths[cut], lengths[cut] / cut)
-            # Prefer the cut with the highest coverage, then length:
-            # a fully-covered shorter cut beats a diluted longer one.
-            if (candidate[1], candidate[0]) > (best[1], best[0]):
-                best = candidate
-        return best
+        return select_cut(self.cut_lengths, lengths)
 
 
 @dataclass
@@ -196,7 +231,17 @@ class OperationDetector:
         self.config = config or GretelConfig()
         self._rest_only_cache: Dict[str, Fingerprint] = {}
         self._candidate_cache: Dict[Tuple[str, bool], List[_Candidate]] = {}
+        self._fragment_cache: Dict[str, str] = {}
+        #: Incremental scoring engine (``docs/matching.md``); its
+        #: counters accumulate across every detection this detector
+        #: runs and surface through ``PipelineStats``.
+        self.matching = MatchingEngine()
         self.detections = 0
+
+    @property
+    def matching_stats(self):
+        """Counters of the incremental engine (all sessions so far)."""
+        return self.matching.stats
 
     # -- candidate preparation ------------------------------------------------
 
@@ -276,6 +321,27 @@ class OperationDetector:
 
     # -- buffer encoding ----------------------------------------------------------
 
+    def _fragment(self, event: WireEvent) -> str:
+        """Symbol fragment for one event; ``""`` excludes it from
+        matching (noise always; RPCs under pruning).
+
+        The symbol lookup and kind check are folded into a per-API
+        cache, the same trick :func:`batch_encoder` plays for the
+        sharded path — steady state is one dict hit per event.
+        """
+        if event.noise:
+            return ""
+        fragment = self._fragment_cache.get(event.api_key)
+        if fragment is None:
+            symbol = self.symbols.symbol(event.api_key)
+            fragment = (
+                "" if (self.config.prune_rpcs
+                       and event.kind is ApiKind.RPC)
+                else symbol
+            )
+            self._fragment_cache[event.api_key] = fragment
+        return fragment
+
     def _encode_events(self, events: Sequence[WireEvent],
                        correlation_id: str = "") -> str:
         """Snapshot window → symbol string (noise always excluded;
@@ -286,16 +352,14 @@ class OperationDetector:
         are matched — "reducing the number of packets against which a
         fingerprint is matched".
         """
-        prune = self.config.prune_rpcs
+        fragment = self._fragment
+        if not correlation_id:
+            return "".join(map(fragment, events))
         parts = []
         for event in events:
-            if event.noise:
-                continue
-            if prune and event.kind is ApiKind.RPC:
-                continue
-            if correlation_id and event.request_id != correlation_id:
-                continue
-            parts.append(self.symbols.symbol(event.api_key))
+            piece = fragment(event)
+            if piece and event.request_id == correlation_id:
+                parts.append(piece)
         return "".join(parts)
 
     def _buffer_symbols(self, snapshot: Snapshot, lo: int, hi: int,
@@ -313,6 +377,30 @@ class OperationDetector:
             return "".join(encoded[lo:hi])
         return self._encode_events(snapshot.events[lo:hi], correlation_id)
 
+    def _session_fragments(self, snapshot: Snapshot,
+                           correlation_id: str) -> Sequence[str]:
+        """Per-event fragments for one incremental scoring session.
+
+        Reuses the snapshot's pre-encoded fragments when present;
+        correlation filtering blanks the fragments of events outside
+        the offending request, which keeps positions aligned with
+        ``snapshot.events`` while matching what per-event encoding
+        would keep.
+        """
+        encoded: Sequence[str]
+        if snapshot.encoded is not None:
+            encoded = snapshot.encoded
+        else:
+            fragment = self._fragment
+            encoded = [fragment(event) for event in snapshot.events]
+        if correlation_id:
+            encoded = [
+                piece if piece and event.request_id == correlation_id
+                else ""
+                for piece, event in zip(encoded, snapshot.events)
+            ]
+        return encoded
+
     # -- scoring --------------------------------------------------------------------
 
     def _score(self, candidates: List[_Candidate],
@@ -321,12 +409,18 @@ class OperationDetector:
                ) -> Dict[int, Tuple[int, float]]:
         """(corroborated length, coverage) per gated candidate index.
 
+        The *reference* scorer: from-scratch over the joined window
+        string.  ``MatchSession.score`` replays these decisions
+        incrementally and must stay bit-identical —
+        ``repro.core.matching.oracle.verify_detection`` is the
+        differential gate between the two.
+
         ``finalized`` carries scores already at full coverage from a
         smaller buffer: coverage is monotone in buffer growth, so they
         need no re-evaluation.
         """
         threshold = self.config.match_coverage
-        buffer_alphabet = frozenset(buffer_symbols)
+        buffer_counts = Counter(buffer_symbols)
         scores: Dict[int, Tuple[int, float]] = {}
         strict = not self.config.relaxed_match
         for index, candidate in enumerate(candidates):
@@ -334,18 +428,13 @@ class OperationDetector:
                 scores[index] = finalized[index]
                 continue
             required = 0.999 if (candidate.pure_read or strict) else threshold
-            if candidate.upper_bound(buffer_alphabet) < required:
+            if candidate.upper_bound(buffer_counts) < required:
                 continue
             length, coverage = candidate.score(buffer_symbols)
             if coverage >= required:
                 scores[index] = (length, coverage)
-                # A candidate is final only once its *longest* cut is
-                # fully corroborated — shorter cuts at coverage 1.0
-                # could still be overtaken by a longer cut as the
-                # buffer grows.
-                max_length = (len(candidate.full_symbols) if candidate.pure_read
-                              else candidate.cut_lengths[-1])
-                if (coverage >= 0.999 and length >= max_length
+                if (coverage >= 0.999
+                        and length >= candidate.final_length
                         and finalized is not None):
                     finalized[index] = (length, coverage)
         return scores
@@ -389,16 +478,33 @@ class OperationDetector:
         correlation_id = (
             snapshot.fault.request_id if config.use_correlation_ids else ""
         )
+        session: Optional[MatchSession] = None
+        if config.incremental_match:
+            session = self.matching.session(
+                self._session_fragments(snapshot, correlation_id),
+                candidates,
+                threshold=config.match_coverage,
+                strict=not config.relaxed_match,
+            )
+
+        def run_scores(
+            lo: int, hi: int,
+            finalized: Optional[Dict[int, Tuple[int, float]]] = None,
+        ) -> Dict[int, Tuple[int, float]]:
+            if session is not None:
+                return session.score(lo, hi, finalized)
+            return self._score(
+                candidates,
+                self._buffer_symbols(snapshot, lo, hi, correlation_id),
+                finalized,
+            )
+
         alpha = max(len(snapshot.events), 2)
         if not config.adaptive_context or performance_fault:
             # Performance faults use the entire context buffer (§5.3.1).
             return self._finish(
                 snapshot, candidates, total,
-                scores=self._score(
-                    candidates,
-                    self._buffer_symbols(snapshot, 0, len(snapshot.events),
-                                         correlation_id),
-                ),
+                scores=run_scores(0, len(snapshot.events)),
                 beta=len(snapshot.events), iterations=1,
                 events=snapshot.events,
             )
@@ -414,11 +520,7 @@ class OperationDetector:
         while True:
             iterations += 1
             lo, hi = snapshot.bounds(beta)
-            scores = self._score(
-                candidates,
-                self._buffer_symbols(snapshot, lo, hi, correlation_id),
-                finalized,
-            )
+            scores = run_scores(lo, hi, finalized)
             ranked = self._rank(candidates, scores)
             if ranked:
                 length = max(scores[i][0] for i in ranked)

@@ -1,0 +1,433 @@
+"""Incremental scoring engine for Algorithm 2's context-buffer loop.
+
+The adaptive loop in :meth:`OperationDetector.detect` evaluates every
+candidate fingerprint against a window that grows by δ events per side
+per iteration.  The reference scorer re-derives each score from the
+whole window, so iteration ``i`` costs O(β₀ + i·δ) per candidate even
+though at most 2δ events are new.  This engine keeps matcher state
+alive across the iterations of one snapshot and reduces the
+steady-state per-iteration cost to a function of what *changed*:
+
+* **Alphabet blocks.**  Candidates sharing a fault symbol overlap
+  heavily: on the Fig. 8c stream ~14 candidates share each distinct
+  symbol-set.  Everything that depends only on the *alphabet* — the
+  sorted snapshot positions of its symbols, the bit-parallel match
+  masks over those filtered coordinates, the window→rank-span bisects
+  and the left-trimmed mask cache — is built once per (alphabet,
+  snapshot) in an :class:`_AlphabetBlock` and shared by every
+  candidate with that alphabet.  The blocks replace the reference
+  path's per-iteration string join and per-candidate foreign-symbol
+  regex strip.
+* **Orientation-swapped Hyyrö rows.**  The reference scorer runs
+  :func:`prefix_lcs_lengths` with row bits over the *needle* and feeds
+  the O(β) buffer through the recurrence.  The engine swaps the roles:
+  bits span the candidate-relevant window slice and the ≤n needle
+  symbols are fed through the identical recurrence, pausing at each
+  truncation cut to read off ``LCS(needle[:cut], window)`` as the
+  count of zero bits.  LCS is symmetric, so the integers — and
+  therefore every coverage float, gate decision and ranking — are
+  bit-identical to the reference.  A window whose relevant span did
+  not change since the candidate's previous iteration returns its
+  cached score without touching the DP.
+* **Shared multiplicity gate.**  The Counter-based upper bound
+  (``_Candidate.upper_bound``) is evaluated with per-symbol window
+  counts bisected out of the snapshot index and cached across all
+  candidates of the iteration; the summed bound is an integer, so the
+  resulting float (and the gate decision) is identical to the
+  reference's ``Counter``-over-the-joined-string computation.
+
+Why not the incremental Hirschberg split?  An earlier design kept a
+forward row fed by right-side extensions plus a reversed-needle row
+fed by reversed left-side extensions, combining them with
+``LCS(N, L+R) = max_k LCS(N[:k], L) + LCS(N[k:], R)``.  Those two rows
+are the wrong pair: outward feeding yields ``LCS(N[k:], L)`` and
+``LCS(N[:k], R)``, whose combination computes ``LCS(N, R+L)`` — the
+window with its halves *swapped* — while the split needs
+``LCS(N[:k], L)`` and ``LCS(N[k:], R)``, both of which are anti-
+incremental under outward growth (each left extension *prepends* to
+L).  See ``docs/matching.md`` for the full argument.  The
+orientation-swapped formulation needs no split: per iteration it costs
+O(distinct symbols + n) word operations on ≲2-word integers,
+independent of β, and is exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.matching.index import SnapshotIndex, WindowCounts
+
+__all__ = [
+    "MatchSession",
+    "MatchingEngine",
+    "MatchingStats",
+    "ScoringCandidate",
+    "select_cut",
+]
+
+Score = Tuple[int, float]
+
+
+def select_cut(
+    cut_lengths: Sequence[int],
+    lengths: Union[Sequence[int], Mapping[int, int]],
+) -> Score:
+    """Best (corroborated length, coverage) over truncation cuts.
+
+    ``lengths`` maps a cut (a needle prefix length) to the LCS between
+    that prefix and the buffer; list results from
+    :func:`prefix_lcs_lengths` index the same way, so the reference and
+    incremental scorers share this exact tie-break.
+    """
+    best: Score = (0, 0.0)
+    for cut in cut_lengths:
+        if cut <= 0:
+            continue
+        candidate = (lengths[cut], lengths[cut] / cut)
+        # Prefer the cut with the highest coverage, then length: a
+        # fully-covered shorter cut beats a diluted longer one.
+        if (candidate[1], candidate[0]) > (best[1], best[0]):
+            best = candidate
+    return best
+
+
+class ScoringCandidate(Protocol):
+    """What the engine needs from a prepared candidate fingerprint.
+
+    Structurally matched by ``repro.core.detector._Candidate`` — the
+    engine deliberately depends on this surface, not on the detector
+    module, so the detector can import the engine without a cycle.
+    """
+
+    pure_read: bool
+    cut_lengths: List[int]
+    alphabet: FrozenSet[str]
+    needle_counts: Dict[str, int]
+
+    @property
+    def needle(self) -> str: ...
+
+    @property
+    def final_length(self) -> int: ...
+
+    def upper_bound(self, buffer_counts: Mapping[str, int]) -> float: ...
+
+
+@dataclass
+class MatchingStats:
+    """Counters the engine accumulates across sessions.
+
+    Exposed through ``PipelineStats`` and ``repro analyze
+    --stage-stats`` so the effect of the multiplicity gate and the
+    incremental rows is observable in production, not only in
+    benchmarks.
+    """
+
+    #: Candidates skipped by the multiplicity upper bound before any
+    #: LCS work.
+    candidates_gated: int = 0
+    #: Alphabet blocks materialized (first un-gated sight of a
+    #: distinct candidate alphabet in a session).
+    blocks_built: int = 0
+    #: DP passes actually run — window evaluations whose relevant
+    #: span changed since the candidate's previous iteration.
+    lcs_row_extensions: int = 0
+    #: Needle symbols fed through the bit-parallel recurrence across
+    #: all DP passes.
+    lcs_symbols_fed: int = 0
+    #: Window evaluations answered from the cached span without a DP
+    #: pass.
+    rescore_hits: int = 0
+
+    def __add__(self, other: "MatchingStats") -> "MatchingStats":
+        return MatchingStats(
+            candidates_gated=(
+                self.candidates_gated + other.candidates_gated
+            ),
+            blocks_built=self.blocks_built + other.blocks_built,
+            lcs_row_extensions=(
+                self.lcs_row_extensions + other.lcs_row_extensions
+            ),
+            lcs_symbols_fed=(
+                self.lcs_symbols_fed + other.lcs_symbols_fed
+            ),
+            rescore_hits=self.rescore_hits + other.rescore_hits,
+        )
+
+
+class _AlphabetBlock:
+    """Alphabet-dependent matcher state, shared across candidates.
+
+    ``positions`` are the snapshot positions carrying a symbol of the
+    alphabet; ``masks`` are Hyyrö match masks in those *filtered*
+    coordinates (bit ``r`` ↔ ``positions[r]``).  A window ``[lo, hi)``
+    maps to the rank span ``[a, b)`` by bisection — memoized, since
+    every candidate of one iteration asks about the same window — and
+    :meth:`shifted` keeps the masks left-trimmed to the current ``a``
+    so the DP slices are one C-level shift per symbol, re-baked only
+    when ``lo`` crosses another relevant position.
+    """
+
+    __slots__ = (
+        "positions", "masks", "_window", "_span", "_shift", "_shifted",
+    )
+
+    def __init__(
+        self, alphabet: FrozenSet[str], index: SnapshotIndex
+    ) -> None:
+        merged: List[int] = []
+        occurrences = index.positions
+        for symbol in alphabet:
+            merged.extend(occurrences.get(symbol, ()))
+        merged.sort()
+        self.positions = merged
+        masks: Dict[str, int] = {}
+        fragments = index.fragments
+        bit = 1
+        for position in merged:
+            symbol = fragments[position]
+            masks[symbol] = masks.get(symbol, 0) | bit
+            bit <<= 1
+        self.masks = masks
+        self._window: Optional[Tuple[int, int]] = None
+        self._span: Tuple[int, int] = (0, 0)
+        #: Left-trim baked into ``_shifted`` (−1: nothing baked yet).
+        self._shift = -1
+        self._shifted: Dict[str, int] = {}
+
+    def span(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Rank span ``[a, b)`` of the relevant positions in
+        ``[lo, hi)``."""
+        window = (lo, hi)
+        if window != self._window:
+            positions = self.positions
+            self._span = (
+                bisect_left(positions, lo), bisect_left(positions, hi)
+            )
+            self._window = window
+        return self._span
+
+    def shifted(self, a: int) -> Dict[str, int]:
+        """Match masks with the first ``a`` ranks trimmed off."""
+        if a != self._shift:
+            self._shift = a
+            self._shifted = {
+                symbol: mask >> a for symbol, mask in self.masks.items()
+            }
+        return self._shifted
+
+
+class _CandidateState:
+    """One candidate's live scoring state within a session."""
+
+    __slots__ = (
+        "candidate", "needle", "cuts", "pure_read", "final_length",
+        "needle_items", "size", "required", "block", "last_span",
+        "last_result",
+    )
+
+    def __init__(
+        self, candidate: ScoringCandidate, required: float
+    ) -> None:
+        self.candidate = candidate
+        needle = candidate.needle
+        self.needle = needle
+        self.cuts = candidate.cut_lengths
+        self.pure_read = candidate.pure_read
+        self.final_length = candidate.final_length
+        self.needle_items = tuple(candidate.needle_counts.items())
+        # ``max(1, …)``: an empty needle sums 0 credits, and 0/1 keeps
+        # the 0.0 bound the reference computes without a zero division.
+        self.size = max(1, len(needle))
+        self.required = required
+        self.block: Optional[_AlphabetBlock] = None
+        self.last_span: Optional[Tuple[int, int]] = None
+        self.last_result: Score = (0, 0.0)
+
+    def run(
+        self,
+        shifted: Dict[str, int],
+        width: int,
+        stats: MatchingStats,
+    ) -> Score:
+        """One orientation-swapped Hyyrö pass over ``width`` ranks.
+
+        The recurrence is byte-for-byte the one in
+        :func:`prefix_lcs_lengths`; only the roles are swapped — row
+        bits span the (filtered) window, and the needle symbols are
+        fed through it.  Bits at ranks ≥ ``width`` in a shifted mask
+        lie outside the window; they never enter ``row`` because
+        ``update = row & mask`` confines the carry to live bits.
+        """
+        window_mask = (1 << width) - 1
+        row = window_mask  # all ones: no increments yet
+        needle = self.needle
+        get = shifted.get
+        if self.pure_read:
+            for symbol in needle:
+                mask = get(symbol)
+                if mask:
+                    update = row & mask
+                    row = ((row + update) | (row - update)) & window_mask
+            stats.lcs_symbols_fed += len(needle)
+            length = width - bin(row).count("1")
+            return length, length / self.size
+        lengths: Dict[int, int] = {}
+        cuts = self.cuts
+        remaining = len(cuts)
+        cut_index = 0
+        fed = 0
+        for symbol in needle:
+            fed += 1
+            mask = get(symbol)
+            if mask:
+                update = row & mask
+                row = ((row + update) | (row - update)) & window_mask
+            while cut_index < len(cuts) and cuts[cut_index] == fed:
+                lengths[fed] = width - bin(row).count("1")
+                cut_index += 1
+                remaining -= 1
+            if not remaining:
+                break
+        stats.lcs_symbols_fed += fed
+        return select_cut(cuts, lengths)
+
+
+class MatchSession:
+    """Scoring state for one snapshot's adaptive-buffer loop.
+
+    Drop-in replacement for ``OperationDetector._score`` over
+    successive windows of a single snapshot: :meth:`score` takes the
+    same ``finalized`` dict and returns the same
+    ``{candidate index: (length, coverage)}`` mapping — with identical
+    floats — while keeping blocks and rows alive between calls.
+    """
+
+    def __init__(
+        self,
+        index: SnapshotIndex,
+        candidates: Sequence[ScoringCandidate],
+        *,
+        threshold: float,
+        strict: bool,
+        stats: MatchingStats,
+    ) -> None:
+        self._index = index
+        self._states = [
+            _CandidateState(
+                candidate,
+                0.999 if (candidate.pure_read or strict) else threshold,
+            )
+            for candidate in candidates
+        ]
+        self._blocks: Dict[FrozenSet[str], _AlphabetBlock] = {}
+        self._stats = stats
+
+    def counts(self, lo: int, hi: int) -> WindowCounts:
+        """Multiplicity view of one window (tests and diagnostics)."""
+        return WindowCounts(self._index, lo, hi)
+
+    def score(
+        self,
+        lo: int,
+        hi: int,
+        finalized: Optional[Dict[int, Score]] = None,
+    ) -> Dict[int, Score]:
+        """Score every candidate against ``events[lo:hi]``.
+
+        Mirrors the reference ``_score`` decision-for-decision: the
+        finalized short-circuit, the multiplicity gate, the coverage
+        threshold and the finalization rule all use the same values in
+        the same order.  The gate is ``upper_bound`` inlined: the
+        per-symbol window counts come from the index and the credit
+        sum is an integer, so the resulting bound float is identical.
+        """
+        stats = self._stats
+        index_count = self._index.count
+        blocks = self._blocks
+        counts: Dict[str, int] = {}
+        counts_get = counts.get
+        scores: Dict[int, Score] = {}
+        gated = 0
+        for position, state in enumerate(self._states):
+            if finalized and position in finalized:
+                scores[position] = finalized[position]
+                continue
+            matched = 0
+            for symbol, need in state.needle_items:
+                have = counts_get(symbol)
+                if have is None:
+                    have = index_count(symbol, lo, hi)
+                    counts[symbol] = have
+                matched += need if need < have else have
+            required = state.required
+            if matched / state.size < required:
+                gated += 1
+                continue
+            block = state.block
+            if block is None:
+                alphabet = state.candidate.alphabet
+                block = blocks.get(alphabet)
+                if block is None:
+                    block = _AlphabetBlock(alphabet, self._index)
+                    blocks[alphabet] = block
+                    stats.blocks_built += 1
+                state.block = block
+            span = block.span(lo, hi)
+            if span == state.last_span:
+                stats.rescore_hits += 1
+                result = state.last_result
+            else:
+                stats.lcs_row_extensions += 1
+                a, b = span
+                width = b - a
+                if width <= 0:
+                    result = (0, 0.0)
+                else:
+                    result = state.run(block.shifted(a), width, stats)
+                state.last_span = span
+                state.last_result = result
+            length, coverage = result
+            if coverage >= required:
+                scores[position] = result
+                # A candidate is final only once its *longest* cut is
+                # fully corroborated (see the reference scorer).
+                if (coverage >= 0.999
+                        and length >= state.final_length
+                        and finalized is not None):
+                    finalized[position] = result
+        stats.candidates_gated += gated
+        return scores
+
+
+class MatchingEngine:
+    """Session factory plus cross-session counters for one detector."""
+
+    def __init__(self) -> None:
+        self.stats = MatchingStats()
+
+    def session(
+        self,
+        fragments: Sequence[str],
+        candidates: Sequence[ScoringCandidate],
+        *,
+        threshold: float,
+        strict: bool,
+    ) -> MatchSession:
+        """A fresh scoring session over one snapshot's fragments."""
+        return MatchSession(
+            SnapshotIndex(fragments), candidates,
+            threshold=threshold, strict=strict, stats=self.stats,
+        )

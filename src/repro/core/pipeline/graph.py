@@ -130,12 +130,16 @@ class AnalysisPipeline:
         return self.publish.reports
 
     def stats(self) -> PipelineStats:
+        matching = self.detection.detector.matching.stats
         return PipelineStats(
             events_processed=self.ingest.events_processed,
             bytes_processed=self.ingest.bytes_processed,
             operational_faults_seen=self.faults.operational_faults_seen,
             snapshots_taken=self.windowing.window.snapshots_taken,
             analysis_seconds=self.publish.analysis_seconds,
+            candidates_gated=matching.candidates_gated,
+            lcs_row_extensions=matching.lcs_row_extensions,
+            lcs_symbols_fed=matching.lcs_symbols_fed,
         )
 
     # ------------------------------------------------------------------

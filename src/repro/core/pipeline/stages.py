@@ -48,22 +48,21 @@ class PipelineStats:
     operational_faults_seen: int = 0
     snapshots_taken: int = 0
     analysis_seconds: float = 0.0
+    # Detection-engine counters (``repro.core.matching``): candidates
+    # skipped by the multiplicity gate, bit-parallel DP passes run,
+    # and needle symbols fed through them (``docs/matching.md``).
+    candidates_gated: int = 0
+    lcs_row_extensions: int = 0
+    lcs_symbols_fed: int = 0
 
     def __add__(self, other: "PipelineStats") -> "PipelineStats":
-        return PipelineStats(
-            events_processed=(
-                self.events_processed + other.events_processed
-            ),
-            bytes_processed=self.bytes_processed + other.bytes_processed,
-            operational_faults_seen=(
-                self.operational_faults_seen
-                + other.operational_faults_seen
-            ),
-            snapshots_taken=self.snapshots_taken + other.snapshots_taken,
-            analysis_seconds=(
-                self.analysis_seconds + other.analysis_seconds
-            ),
-        )
+        # Every counter merges by summation, so merge generically:
+        # a field added here (or to the matching engine) is summed
+        # across shards without another hand-written line.
+        return PipelineStats(**{
+            spec.name: getattr(self, spec.name) + getattr(other, spec.name)
+            for spec in fields(self)
+        })
 
     @classmethod
     def merged(cls, parts: Iterable["PipelineStats"]) -> "PipelineStats":
