@@ -56,6 +56,58 @@ def test_prefix_lcs(benchmark, character):
     assert lengths[-1] == len(needle)
 
 
+def _levelshift_series(samples=5_000, seed=5):
+    """A latency series with occasional level shifts (alarms, re-seeds
+    and confirm streaks all exercised)."""
+    import random
+
+    rng = random.Random(seed)
+    series = []
+    ts, level = 0.0, 0.010
+    for _ in range(samples):
+        ts += rng.uniform(0.05, 0.15)
+        if rng.random() < 0.002:
+            level = 0.010 * rng.uniform(1.0, 8.0)
+        series.append((ts, level * rng.uniform(0.9, 1.1)))
+    return series
+
+
+def test_levelshift_update(benchmark):
+    """Per-sample cost of the streaming LS engine (sorted rolling
+    window + cached threshold — the production default)."""
+    from repro.core.streamstats import IncrementalLevelShiftDetector
+
+    series = _levelshift_series()
+
+    def run():
+        detector = IncrementalLevelShiftDetector(window=24)
+        update = detector.update
+        for ts, value in series:
+            update(ts, value)
+        return detector
+
+    detector = benchmark(run)
+    assert detector.alarms
+
+
+def test_levelshift_update_reference(benchmark):
+    """The same series through the from-scratch reference detector
+    (three sorts per sample) — the before/after pair for streamstats."""
+    from repro.core.outliers import LevelShiftDetector
+
+    series = _levelshift_series()
+
+    def run():
+        detector = LevelShiftDetector(window=24)
+        update = detector.update
+        for ts, value in series:
+            update(ts, value)
+        return detector
+
+    detector = benchmark(run)
+    assert detector.alarms
+
+
 def _detection_fixture(character, **overrides):
     from repro.core.config import GretelConfig
     from repro.core.detector import OperationDetector

@@ -256,6 +256,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
               f"candidates_gated={stats.candidates_gated}, "
               f"lcs_row_extensions={stats.lcs_row_extensions}, "
               f"lcs_symbols_fed={stats.lcs_symbols_fed}")
+        print("  level-shift engine: "
+              f"ls_samples_fed={stats.ls_samples_fed}, "
+              f"ls_threshold_recomputes={stats.ls_threshold_recomputes}")
 
     if args.verify_shards:
         result = verify_equivalence(

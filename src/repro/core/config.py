@@ -71,6 +71,17 @@ class GretelConfig:
     #: default: Liberty-era deployments did not carry the header.
     use_correlation_ids: bool = False
 
+    #: Feed latency series through the incremental level-shift engine
+    #: (``repro.core.streamstats``): the rolling baseline is kept
+    #: sorted as it rolls, so the median is an O(1) read, the MAD an
+    #: O(log w) search, and the (median, MAD, threshold) triple is
+    #: cached between window mutations — instead of three O(w·log w)
+    #: sorts per latency sample.  Bit-identical to the reference
+    #: detector — ``repro.core.streamstats.verify_levelshift`` is the
+    #: proof — so this is a pure performance switch; off runs the
+    #: reference.
+    incremental_ls: bool = True
+
     #: Level-shift detector: baseline window length (samples).
     ls_window: int = 24
     #: Level-shift detector: shift threshold in robust sigmas.

@@ -3,8 +3,11 @@
 REST latencies are computed by pairing request and response on TCP
 connection metadata; RPC latencies pair on the oslo message id (§5.3).
 Our wire events already carry both timestamps, so the tracker consumes
-the observed latency directly and feeds one
-:class:`~repro.core.outliers.LevelShiftDetector` per API identity.
+the observed latency directly and feeds one level-shift detector per
+API identity — the incremental ``repro.core.streamstats`` engine by
+default, the reference :class:`~repro.core.outliers.LevelShiftDetector`
+when ``GretelConfig.incremental_ls`` is off (the two are held
+bit-identical by ``repro.core.streamstats.verify_levelshift``).
 
 In the composable pipeline this tracker is the state behind
 :class:`repro.core.pipeline.stages.LatencyStage`; anomalies it emits
@@ -19,7 +22,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.openstack.wire import WireEvent
 from repro.core.config import GretelConfig
-from repro.core.outliers import LevelShiftDetector
+from repro.core.outliers import LevelShift
+from repro.core.streamstats.detector import LsDetector, detector_from_config
 
 
 @dataclass(frozen=True)
@@ -43,7 +47,8 @@ class LatencyTracker:
 
     def __init__(self, config: Optional[GretelConfig] = None):
         self.config = config or GretelConfig()
-        self._detectors: Dict[str, LevelShiftDetector] = {}
+        self._detectors: Dict[str, LsDetector] = {}
+        self._samples_fed = 0
         self.anomalies: List[PerformanceAnomaly] = []
         self._listeners: List[Callable[[PerformanceAnomaly], None]] = []
 
@@ -51,32 +56,19 @@ class LatencyTracker:
         """Register a performance-fault consumer."""
         self._listeners.append(callback)
 
-    def detector_for(self, api_key: str) -> LevelShiftDetector:
+    def detector_for(self, api_key: str) -> LsDetector:
         """The (lazily created) detector for one API identity."""
         detector = self._detectors.get(api_key)
         if detector is None:
-            config = self.config
-            detector = LevelShiftDetector(
-                window=config.ls_window,
-                sigmas=config.ls_sigmas,
-                min_delta=config.ls_min_delta,
-                confirm=config.ls_confirm,
-                warmup=config.ls_warmup,
-                rel_delta=config.ls_rel_delta,
-                cooldown=config.ls_cooldown,
-            )
+            detector = detector_from_config(self.config)
             self._detectors[api_key] = detector
         return detector
 
-    def observe(self, event: WireEvent) -> Optional[PerformanceAnomaly]:
-        """Feed one event's latency; returns an anomaly if confirmed."""
-        shift = self.detector_for(event.api_key).update(
-            event.ts_response, event.latency
-        )
-        if shift is None:
-            return None
+    def _emit(
+        self, api_key: str, shift: LevelShift, event: WireEvent
+    ) -> PerformanceAnomaly:
         anomaly = PerformanceAnomaly(
-            api_key=event.api_key,
+            api_key=api_key,
             ts=shift.ts,
             observed=shift.observed,
             baseline=shift.baseline,
@@ -87,22 +79,69 @@ class LatencyTracker:
             callback(anomaly)
         return anomaly
 
+    def observe(self, event: WireEvent) -> Optional[PerformanceAnomaly]:
+        """Feed one event's latency; returns an anomaly if confirmed."""
+        self._samples_fed += 1
+        shift = self.detector_for(event.api_key).update(
+            event.ts_response, event.latency
+        )
+        if shift is None:
+            return None
+        return self._emit(event.api_key, shift, event)
+
     def observe_batch(self, events: Sequence[WireEvent]) -> int:
         """Feed a run of events, skipping noise and error exchanges.
 
         Applies the same gate the serial analyzer applies per event
         (``not event.noise and not event.error``), so a batched caller
-        sees exactly the serial anomaly sequence.  Returns the number
-        of latencies actually observed.
+        sees exactly the serial anomaly multiset.  The run is bucketed
+        by ``api_key`` first: each series is then fed through a single
+        bound ``update`` with no per-event dict lookup.  Detectors are
+        independent per API, so within-series order (the only order LS
+        semantics depend on) is untouched; cross-series anomaly
+        interleaving may differ from strictly serial feeding, which the
+        pipeline already tolerates (reports are compared and merged as
+        ordered multisets).  Returns the number of latencies observed.
         """
+        buckets: Dict[str, List[WireEvent]] = {}
         observed = 0
         for event in events:
-            if event.noise or event.status >= 400:
+            if event.noise or event.error:
                 continue
-            self.observe(event)
+            bucket = buckets.get(event.api_key)
+            if bucket is None:
+                buckets[event.api_key] = [event]
+            else:
+                bucket.append(event)
             observed += 1
+        for api_key, series in buckets.items():
+            update = self.detector_for(api_key).update
+            for event in series:
+                shift = update(event.ts_response, event.latency)
+                if shift is not None:
+                    self._emit(api_key, shift, event)
+        self._samples_fed += observed
         return observed
 
     def series_count(self) -> int:
         """How many API series are being tracked."""
         return len(self._detectors)
+
+    @property
+    def ls_samples_fed(self) -> int:
+        """Latency samples fed into level-shift detectors."""
+        return self._samples_fed
+
+    @property
+    def ls_threshold_recomputes(self) -> int:
+        """(median, MAD, threshold) recomputations across all series.
+
+        With the incremental engine this counts cache misses (one per
+        window mutation that reached a threshold read); the reference
+        detector recomputes on every ``threshold()`` call, so the
+        ratio of this to :attr:`ls_samples_fed` is the cache's win.
+        """
+        return sum(
+            detector.threshold_recomputes
+            for detector in self._detectors.values()
+        )

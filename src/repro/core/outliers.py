@@ -14,8 +14,12 @@ LS semantics, which this online implementation preserves:
 The detector keeps a rolling window, estimates a robust baseline
 (median + MAD), and confirms a shift after ``confirm`` consecutive
 points beyond ``sigmas`` robust deviations (and an absolute floor
-``min_delta``).  Detection is O(window) per alarm and O(1) amortized
-per sample.
+``min_delta``).  Every sample pays three O(w·log w) sorts inside
+``threshold()``; this module is the *reference* half of the LS
+differential oracle — the production path is the amortized-O(log w)
+``repro.core.streamstats`` engine, which
+``repro.core.streamstats.verify_levelshift`` holds to bit-identical
+alarms, baselines and thresholds against this implementation.
 """
 
 from __future__ import annotations
@@ -79,6 +83,10 @@ class LevelShiftDetector:
         self._pending: List[tuple] = []   # (ts, value) candidates
         self._count = 0
         self.alarms: List[LevelShift] = []
+        #: Perf counter: every ``threshold()`` call re-derives the
+        #: (median, MAD, threshold) triple from scratch here; the
+        #: incremental engine only recomputes on window mutation.
+        self.threshold_recomputes = 0
 
     # -- state ------------------------------------------------------------
 
@@ -101,6 +109,7 @@ class LevelShiftDetector:
 
     def threshold(self) -> float:
         """Current alarm threshold above the baseline."""
+        self.threshold_recomputes += 1
         baseline = self.baseline
         return baseline + max(
             self.sigmas * self.spread,
@@ -179,6 +188,7 @@ class StaticThresholdDetector:
         self.threshold_value = threshold
         self.confirm = confirm
         self._streak: List[tuple] = []
+        self._count = 0
         self.alarms: List[LevelShift] = []
 
     def threshold(self) -> float:
@@ -187,6 +197,7 @@ class StaticThresholdDetector:
 
     def update(self, ts: float, value: float) -> Optional[LevelShift]:
         """Feed one sample; returns an alarm on every confirmed crossing."""
+        self._count += 1
         if value > self.threshold_value:
             self._streak.append((ts, value))
             if len(self._streak) >= self.confirm:
@@ -196,16 +207,19 @@ class StaticThresholdDetector:
                     baseline=self.threshold_value,
                     magnitude=_median([v for _, v in self._streak])
                     - self.threshold_value,
-                    index=len(self.alarms),
+                    # The sample index at confirmation, matching
+                    # LevelShiftDetector (not the alarm count).
+                    index=self._count,
                 )
                 self.alarms.append(shift)
-                self._streak = []
+                self._streak.clear()
                 return shift
             return None
-        self._streak = []
+        self._streak.clear()
         return None
 
     def reset(self) -> None:
         """Forget all state."""
-        self._streak = []
+        self._streak.clear()
+        self._count = 0
         self.alarms.clear()

@@ -131,6 +131,7 @@ class AnalysisPipeline:
 
     def stats(self) -> PipelineStats:
         matching = self.detection.detector.matching.stats
+        tracker = self.latency.tracker
         return PipelineStats(
             events_processed=self.ingest.events_processed,
             bytes_processed=self.ingest.bytes_processed,
@@ -140,6 +141,8 @@ class AnalysisPipeline:
             candidates_gated=matching.candidates_gated,
             lcs_row_extensions=matching.lcs_row_extensions,
             lcs_symbols_fed=matching.lcs_symbols_fed,
+            ls_samples_fed=tracker.ls_samples_fed,
+            ls_threshold_recomputes=tracker.ls_threshold_recomputes,
         )
 
     # ------------------------------------------------------------------

@@ -54,6 +54,13 @@ class PipelineStats:
     candidates_gated: int = 0
     lcs_row_extensions: int = 0
     lcs_symbols_fed: int = 0
+    # Level-shift engine counters (``repro.core.streamstats``):
+    # latency samples fed to per-API detectors, and (median, MAD,
+    # threshold) triples actually recomputed — cache misses under the
+    # incremental engine, one per sample past warmup under the
+    # reference (``docs/streamstats.md``).
+    ls_samples_fed: int = 0
+    ls_threshold_recomputes: int = 0
 
     def __add__(self, other: "PipelineStats") -> "PipelineStats":
         # Every counter merges by summation, so merge generically:

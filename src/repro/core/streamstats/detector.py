@@ -1,0 +1,229 @@
+"""Incremental level-shift detection: the streaming-robust-stats LS.
+
+Semantics are the reference :class:`repro.core.outliers.
+LevelShiftDetector`'s, *bit for bit* — warmup, cooldown, confirm
+streaks, the pending re-seed, alarm fields, everything — with the
+per-sample cost model replaced:
+
+===============================  =====================  ==============
+step                             reference              incremental
+===============================  =====================  ==============
+window maintenance               O(1) deque append      O(log w) insort
+median                           O(w·log w) sort        O(1) index
+MAD                              2 × O(w·log w) sorts   O(log w) search
+threshold                        recomputed per sample  cached per
+                                                        window version
+===============================  =====================  ==============
+
+The (median, MAD, threshold) triple is cached against the
+:class:`~repro.core.streamstats.window.SortedWindow` version counter,
+so confirm streaks and repeated threshold reads between window
+mutations are free.  ``repro.core.streamstats.oracle.
+verify_levelshift`` replays both detectors over the same stream and
+raises on any alarm/baseline/threshold divergence — the same
+reference-half-of-a-differential-oracle pattern ``repro.core.
+matching`` uses for Algorithm 2 scoring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.core.config import GretelConfig
+from repro.core.outliers import LevelShift, LevelShiftDetector, _median
+from repro.core.streamstats.window import SortedWindow
+
+#: Either half of the differential pair; both expose the same surface
+#: (``update`` / ``threshold`` / ``baseline`` / ``spread`` / ``alarms``
+#: / ``reset`` / ``threshold_recomputes``).
+LsDetector = Union[LevelShiftDetector, "IncrementalLevelShiftDetector"]
+
+
+class IncrementalLevelShiftDetector:
+    """Online LS detector for one time series, amortized O(log w)."""
+
+    def __init__(
+        self,
+        window: int = 24,
+        sigmas: float = 4.0,
+        min_delta: float = 0.004,
+        confirm: int = 3,
+        warmup: int = 12,
+        rel_delta: float = 0.5,
+        cooldown: float = 10.0,
+    ) -> None:
+        if window < 4:
+            raise ValueError("window must be at least 4")
+        if confirm < 1:
+            raise ValueError("confirm must be at least 1")
+        self.window = window
+        self.sigmas = sigmas
+        self.min_delta = min_delta
+        self.rel_delta = rel_delta
+        self.confirm = confirm
+        self.warmup = max(warmup, confirm + 1)
+        self.cooldown = cooldown
+        self._cooldown_until = float("-inf")
+        self._baseline = SortedWindow(window)
+        self._pending: List[Tuple[float, float]] = []
+        self._count = 0
+        self.alarms: List[LevelShift] = []
+        #: Perf counter: (median, MAD, threshold) recomputes actually
+        #: performed (cache misses); the reference detector counts one
+        #: per ``threshold()`` call.  Surfaced as the pipeline's
+        #: ``ls_threshold_recomputes``.
+        self.threshold_recomputes = 0
+        self._cache_version = -1
+        self._cached_median = 0.0
+        self._cached_threshold = 0.0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def baseline(self) -> float:
+        """Current robust baseline (median of the window)."""
+        if not len(self._baseline):
+            return 0.0
+        return self._baseline.median()
+
+    @property
+    def spread(self) -> float:
+        """Robust spread: MAD scaled to sigma-equivalent, floored."""
+        window = self._baseline
+        if len(window) < 4:
+            return float("inf")
+        return max(1.4826 * window.mad(window.median()), 1e-12)
+
+    def threshold(self) -> float:
+        """Current alarm threshold above the baseline."""
+        if len(self._baseline) < 4:
+            # Reference parity off the hot path: an under-filled
+            # window has infinite spread, so the same expression
+            # yields the same (infinite) threshold.
+            baseline = self.baseline
+            return baseline + max(
+                self.sigmas * self.spread,
+                self.min_delta,
+                self.rel_delta * baseline,
+            )
+        return self._threshold()
+
+    def _threshold(self) -> float:
+        """The cached threshold; recomputed only on window mutation."""
+        window = self._baseline
+        if self._cache_version != window.version:
+            med, mad = window.median_mad()
+            spread = max(1.4826 * mad, 1e-12)
+            self._cached_median = med
+            self._cached_threshold = med + max(
+                self.sigmas * spread,
+                self.min_delta,
+                self.rel_delta * med,
+            )
+            self._cache_version = window.version
+            self.threshold_recomputes += 1
+        return self._cached_threshold
+
+    # -- feeding ----------------------------------------------------------
+
+    def update(self, ts: float, value: float) -> Optional[LevelShift]:
+        """Feed one sample; returns a :class:`LevelShift` when confirmed."""
+        self._count += 1
+        baseline = self._baseline
+        if self._count <= self.warmup or baseline.size < 4:
+            baseline.append(value)
+            return None
+        if ts < self._cooldown_until:
+            baseline.append(value)
+            return None
+
+        # _threshold()'s cache refresh, inlined: this runs once per
+        # latency sample on the receiver hot path, and the call plus
+        # re-resolved attribute chain costs as much as the fused
+        # (median, MAD) computation itself.  The comparison chains are
+        # ``max()`` with the builtin dispatch shaved off; leftmost-
+        # wins tie-breaking is preserved (values only replace the
+        # running maximum when strictly larger).
+        if self._cache_version != baseline.version:
+            med, mad = baseline.median_mad()
+            spread = 1.4826 * mad
+            if spread < 1e-12:
+                spread = 1e-12
+            margin = self.sigmas * spread
+            if margin < self.min_delta:
+                margin = self.min_delta
+            rel = self.rel_delta * med
+            if margin < rel:
+                margin = rel
+            self._cached_median = med
+            self._cached_threshold = med + margin
+            self._cache_version = baseline.version
+            self.threshold_recomputes += 1
+
+        if value > self._cached_threshold:
+            self._pending.append((ts, value))
+            if len(self._pending) >= self.confirm:
+                # The cache is fresh: pending samples never touch the
+                # window, so the median computed for the threshold
+                # check *is* the reference's alarm-time baseline.
+                med = self._cached_median
+                observed = _median([v for _, v in self._pending])
+                shift = LevelShift(
+                    ts=self._pending[0][0],
+                    observed=observed,
+                    baseline=med,
+                    magnitude=observed - med,
+                    index=self._count,
+                )
+                self.alarms.append(shift)
+                baseline.clear()
+                for _, pending_value in self._pending:
+                    baseline.append(pending_value)
+                self._pending.clear()
+                self._cooldown_until = ts + self.cooldown
+                return shift
+            return None
+
+        # A below-threshold sample breaks any pending shift; the
+        # pending values rejoin the baseline in arrival order.
+        if self._pending:
+            for _, pending_value in self._pending:
+                baseline.append(pending_value)
+            self._pending.clear()
+        baseline.append(value)
+        return None
+
+    def reset(self) -> None:
+        """Forget all state (fresh series)."""
+        self._baseline.clear()
+        self._pending.clear()
+        self._count = 0
+        self._cooldown_until = float("-inf")
+        self.alarms.clear()
+        self._cache_version = -1
+
+
+def detector_from_config(
+    config: GretelConfig, *, incremental: Optional[bool] = None
+) -> LsDetector:
+    """One per-series LS detector wired from ``config``'s ls_* knobs.
+
+    ``incremental`` overrides ``config.incremental_ls`` (the oracle
+    builds both halves of the differential pair from one config).
+    """
+    use_incremental = (
+        config.incremental_ls if incremental is None else incremental
+    )
+    cls = (
+        IncrementalLevelShiftDetector if use_incremental
+        else LevelShiftDetector
+    )
+    return cls(
+        window=config.ls_window,
+        sigmas=config.ls_sigmas,
+        min_delta=config.ls_min_delta,
+        confirm=config.ls_confirm,
+        warmup=config.ls_warmup,
+        rel_delta=config.ls_rel_delta,
+        cooldown=config.ls_cooldown,
+    )

@@ -149,3 +149,37 @@ def test_static_reset():
     assert detector.alarms
     detector.reset()
     assert detector.alarms == []
+
+
+def test_static_alarm_index_is_sample_index():
+    """Regression: ``LevelShift.index`` is documented as "sample index
+    at confirmation" — the static detector used to store the *alarm
+    count* instead."""
+    detector = StaticThresholdDetector(threshold=0.05, confirm=2)
+    series = [0.01, 0.01, 0.08, 0.09, 0.01, 0.08, 0.09]
+    alarms = feed(detector, series)
+    assert [alarm.index for alarm in alarms] == [4, 7]
+
+
+def test_static_streak_identity_stable_across_alarms():
+    """The streak buffer is cleared in place (not rebound), so the
+    detector keeps alarming on every confirmed crossing."""
+    detector = StaticThresholdDetector(threshold=0.05, confirm=2)
+    streak = detector._streak
+    feed(detector, [0.08, 0.09, 0.01, 0.08, 0.09, 0.08, 0.09])
+    assert detector._streak is streak
+    assert len(detector.alarms) == 3
+    detector.reset()
+    assert detector._streak is streak
+
+
+def test_reference_counts_threshold_recomputes():
+    detector = LevelShiftDetector()
+    feed(detector, steady(50))
+    before = detector.threshold_recomputes
+    assert before > 0
+    detector.threshold()
+    detector.threshold()
+    # The reference recomputes on *every* call — the contrast the
+    # streamstats cache counter is measured against.
+    assert detector.threshold_recomputes == before + 2
