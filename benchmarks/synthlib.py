@@ -1,0 +1,113 @@
+"""Seeded synthetic fingerprint libraries for scale benchmarks.
+
+The seed suite characterizes ~1200 operations; the ROADMAP's scale-out
+work targets 5-10k.  This generator manufactures libraries of any size
+over the *real* catalog's symbol table (so RPC pruning, state-change
+masks and API labels all behave like production fingerprints) with
+three tunables:
+
+``size``
+    number of operations;
+``alphabet``
+    how many distinct symbols the library draws from — smaller
+    alphabets mean longer postings lists per symbol;
+``overlap``
+    fraction of each fingerprint drawn from a small *hot pool* of
+    shared symbols (models ubiquitous setup/teardown APIs); the rest
+    comes from the operation's own region of the alphabet, which gives
+    every fingerprint a few rare anchor symbols.
+
+Everything is driven by one ``random.Random(seed)``, so a given
+parameter set always produces byte-identical libraries — benchmark
+runs and the Hypothesis-style equivalence tests can reproduce each
+other's inputs exactly.
+
+Exported for the index benchmark (``test_index_selection.py``) and the
+future 5-10k matching work; import as ``from synthlib import
+synthetic_library`` (benchmarks run with this directory on the path,
+like ``conftest``).
+"""
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.fingerprint import Fingerprint, FingerprintLibrary
+from repro.core.symbols import SymbolTable
+from repro.openstack.catalog import default_catalog
+
+#: Size of the shared hot-symbol pool (the "ubiquitous API" model).
+HOT_POOL = 12
+
+
+def synthetic_library(
+    size: int,
+    *,
+    seed: int = 0,
+    alphabet: int = 160,
+    min_length: int = 6,
+    max_length: int = 40,
+    overlap: float = 0.3,
+    symbols: Optional[SymbolTable] = None,
+) -> FingerprintLibrary:
+    """Build a ``size``-operation library over the default catalog.
+
+    ``alphabet`` is clamped to the symbol table; each operation's
+    non-hot symbols come from a seeded window of the alphabet so
+    postings lists vary from a handful of operations (anchors) to a
+    large fraction of the library (hot symbols).
+    """
+    if symbols is None:
+        symbols = SymbolTable(default_catalog())
+    pool = [symbol for _, symbol in symbols.items()]
+    alphabet = max(HOT_POOL + 1, min(alphabet, len(pool)))
+    pool = pool[:alphabet]
+    hot = pool[:HOT_POOL]
+    cold = pool[HOT_POOL:]
+
+    rng = random.Random(seed)
+    library = FingerprintLibrary(symbols)
+    for index in range(size):
+        length = rng.randint(min_length, max_length)
+        # This operation's home region: a contiguous window of the
+        # cold alphabet, so its rare symbols are shared with few
+        # other operations.
+        window = max(4, len(cold) // 8)
+        start = rng.randrange(len(cold))
+        region = [cold[(start + k) % len(cold)] for k in range(window)]
+        picked: List[str] = []
+        for _ in range(length):
+            source = hot if rng.random() < overlap else region
+            picked.append(rng.choice(source))
+        # At least one state-change symbol: a pure-read library would
+        # exercise only the RGX002 corner, not candidate selection.
+        mask: Tuple[bool, ...] = tuple(
+            symbols.is_state_change(s) for s in picked
+        )
+        if not any(mask):
+            changers = [
+                s for s in region if symbols.is_state_change(s)
+            ] or [s for s in pool if symbols.is_state_change(s)]
+            picked[rng.randrange(len(picked))] = rng.choice(changers)
+            mask = tuple(symbols.is_state_change(s) for s in picked)
+        library.add(Fingerprint(
+            operation=f"synthetic-op-{index:05d}",
+            symbols="".join(picked),
+            state_change_mask=mask,
+            category="synthetic",
+        ))
+    return library
+
+
+def sample_api_keys(
+    library: FingerprintLibrary, count: int, *, seed: int = 0
+) -> List[str]:
+    """A seeded sample of API keys whose symbols the library contains
+    (the offending-API population a selection benchmark loops over)."""
+    symbols = library.symbols
+    contained = sorted(library.postings())
+    rng = random.Random(seed)
+    picked = (
+        contained if count >= len(contained)
+        else rng.sample(contained, count)
+    )
+    return [symbols.api_key(symbol) for symbol in picked]

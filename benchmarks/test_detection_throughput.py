@@ -144,7 +144,7 @@ def _frozen_snapshots(library, events):
     )
     analyzer.feed(events)
     analyzer.flush()
-    return list(analyzer.pipeline._deferred)
+    return analyzer.pipeline.deferred_snapshots()
 
 
 def _render(payload):

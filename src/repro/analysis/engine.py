@@ -7,6 +7,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.analysis import (
     ambiguity,
     configlint,
+    discriminability,
+    indexdrift,
     integrity,
     regexlint,
     truncation,
@@ -21,6 +23,8 @@ PASSES: Dict[str, Callable[[LintContext], List[Finding]]] = {
     integrity.PASS_NAME: integrity.run,
     regexlint.PASS_NAME: regexlint.run,
     configlint.PASS_NAME: configlint.run,
+    discriminability.PASS_NAME: discriminability.run,
+    indexdrift.PASS_NAME: indexdrift.run,
 }
 
 
@@ -56,7 +60,8 @@ def _cap_per_rule(
 def run_lint(
     ctx: LintContext, passes: Optional[Sequence[str]] = None
 ) -> LintReport:
-    """Run the requested passes (default: all five) and build a report.
+    """Run the requested passes (default: all registered) and build a
+    report.
 
     Raises ``KeyError`` naming the offending pass if ``passes``
     contains an unknown name.

@@ -14,12 +14,18 @@ Commands
     Describe the generated Tempest-like suite.
 ``lint``
     Statically verify the fingerprint library, symbol table, catalog
-    and config (five analysis passes; see ``docs/linting.md``).
+    and config (seven analysis passes; see ``docs/linting.md``).
+``index build`` / ``index inspect``
+    Compile the fingerprint library into the versioned candidate-
+    selection artifact, or summarize/drift-check an existing one
+    (see ``docs/indexing.md``).
 ``analyze``
     Replay a synthetic wire-event stream through the sharded online
     analyzer and print throughput; ``--verify-shards`` also replays it
-    serially and asserts identical report sets (the differential
-    oracle; see ``docs/parallelism.md``).
+    serially and asserts identical report sets, and
+    ``--verify-selection`` proves indexed candidate selection
+    equivalent to the full scan (differential oracles; see
+    ``docs/parallelism.md`` and ``docs/indexing.md``).
 """
 
 from __future__ import annotations
@@ -125,26 +131,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
+def _resolve_library(args: argparse.Namespace):
+    """Shared ``--library``/characterization loader for lint/index.
+
+    Returns ``(library, symbols, catalog, groups)`` or ``None`` after
+    printing an error (exit code 2 territory).
+    """
     import json
 
-    from repro.analysis import LintContext, render_json, render_text, run_lint
-    from repro.analysis.engine import PASSES
-    from repro.core.config import GretelConfig
     from repro.core.fingerprint import FingerprintLibrary
     from repro.core.symbols import SymbolTable
     from repro.openstack.catalog import default_catalog
-
-    passes = None
-    if args.passes:
-        passes = [name.strip() for name in args.passes.split(",") if name.strip()]
-        unknown = [name for name in passes if name not in PASSES]
-        if unknown:
-            print(
-                f"unknown lint pass(es): {', '.join(unknown)}; choose from: "
-                f"{', '.join(PASSES)}", file=sys.stderr,
-            )
-            return 2
 
     catalog = default_catalog()
     groups = None
@@ -155,7 +152,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as error:
             print(f"cannot read library {args.library!r}: {error}",
                   file=sys.stderr)
-            return 2
+            return None
         symbols = SymbolTable(catalog)
         library = FingerprintLibrary.from_dict(data, symbols)
     else:
@@ -174,10 +171,54 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             test.test_id: test.template.name
             for test in default_suite(args.seed).tests
         }
+    return library, symbols, catalog, groups
+
+
+def _load_index(path: str):
+    """Load a serialized :class:`CompiledIndex`, or ``None`` + error."""
+    import json
+
+    from repro.analysis.compile import CompiledIndex
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return CompiledIndex.from_dict(json.load(handle))
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot read index {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintContext, render_json, render_text, run_lint
+    from repro.analysis.engine import PASSES
+    from repro.core.config import GretelConfig
+
+    passes = None
+    if args.passes:
+        passes = [name.strip() for name in args.passes.split(",") if name.strip()]
+        unknown = [name for name in passes if name not in PASSES]
+        if unknown:
+            print(
+                f"unknown lint pass(es): {', '.join(unknown)}; choose from: "
+                f"{', '.join(PASSES)}", file=sys.stderr,
+            )
+            return 2
+
+    resolved = _resolve_library(args)
+    if resolved is None:
+        return 2
+    library, symbols, catalog, groups = resolved
+
+    compiled_index = None
+    if args.index:
+        compiled_index = _load_index(args.index)
+        if compiled_index is None:
+            return 2
 
     ctx = LintContext(
         library=library, symbols=symbols, catalog=catalog,
         config=GretelConfig(), operation_groups=groups,
+        compiled_index=compiled_index,
     )
     if args.max_symbols is not None:
         ctx.max_symbols = args.max_symbols
@@ -187,6 +228,80 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(report))
     return report.exit_code(strict=args.strict)
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.analysis.compile import compile_library
+    from repro.core.config import GretelConfig
+
+    resolved = _resolve_library(args)
+    if resolved is None:
+        return 2
+    library, symbols, _catalog, _groups = resolved
+    index = compile_library(library, symbols, GretelConfig())
+    payload = index.to_json() + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(
+            f"wrote {args.out}: {len(index.operations)} operations, "
+            f"{len(index.symbols)} symbols, "
+            f"{index.postings_total} postings, "
+            f"{len(index.preps)} prepared candidates "
+            f"(artifact sha256 {index.artifact_hash()[:12]})"
+        )
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    index = _load_index(args.artifact)
+    if index is None:
+        return 2
+    flags = index.flags
+    print(f"format version: {index.format_version}")
+    print(f"library sha256: {index.library_hash}")
+    print(f"symbols sha256: {index.symbols_hash}")
+    print(f"artifact sha256: {index.artifact_hash()}")
+    print(
+        f"selection flags: prune_rpcs={flags[0]}, "
+        f"relaxed_match={flags[1]}, truncate_fingerprints={flags[2]}, "
+        f"match_coverage={index.match_coverage}"
+    )
+    print(
+        f"{len(index.operations)} operations, "
+        f"{len(index.symbols)} symbols, "
+        f"{index.postings_total} postings, "
+        f"{len(index.preps)} prepared candidates"
+    )
+    postings = index.postings()
+    hottest = sorted(
+        postings, key=lambda s: (-len(postings[s]), s)
+    )[:5]
+    print("longest postings lists:")
+    for symbol in hottest:
+        print(f"  U+{ord(symbol):04X}: {len(postings[symbol])} operations")
+
+    if not args.check:
+        return 0
+    resolved = _resolve_library(args)
+    if resolved is None:
+        return 2
+    library, symbols, _catalog, _groups = resolved
+    problems = index.verify_against(library, symbols)
+    if not problems:
+        problems = [
+            f"structural drift: {p}"
+            for p in index.check_postings(library)
+        ]
+    if problems:
+        print("DRIFT:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("fresh: artifact matches the live library and symbol table")
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -256,6 +371,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
               f"candidates_gated={stats.candidates_gated}, "
               f"lcs_row_extensions={stats.lcs_row_extensions}, "
               f"lcs_symbols_fed={stats.lcs_symbols_fed}")
+        print("  candidate selection: "
+              f"postings_scanned={stats.postings_scanned}, "
+              f"candidates_indexed={stats.candidates_indexed}")
         print("  level-shift engine: "
               f"ls_samples_fed={stats.ls_samples_fed}, "
               f"ls_threshold_recomputes={stats.ls_threshold_recomputes}")
@@ -268,6 +386,69 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         )
         print(result.summary())
         if not result.ok:
+            return 1
+
+    if args.verify_selection:
+        from dataclasses import replace
+
+        from repro.analysis.compile import verify_selection
+        from repro.core.parallel import report_signature
+
+        # Candidate-level + per-snapshot oracle over the stream's
+        # frozen snapshots, collected once serially.
+        serial = (
+            PipelineBuilder(library)
+            .with_store(MetadataStore())
+            .with_config(config)
+            .track_latency(not args.no_latency)
+            .defer_detection(True)
+            .build_serial()
+        )
+        serial.feed(events)
+        serial.flush()
+        snapshots = serial.pipeline.deferred_snapshots()
+        selection = verify_selection(
+            library, config=config, snapshots=snapshots, strict=False,
+        )
+        print(selection.summary())
+        if not selection.ok:
+            return 1
+
+        # End-to-end: full replays with indexed selection on vs off
+        # must publish bit-identical report sets, serially and sharded.
+        def replay(indexed: bool, sharded: bool):
+            cfg = replace(config, indexed_selection=indexed)
+            builder = (
+                PipelineBuilder(library)
+                .with_store(MetadataStore())
+                .with_config(cfg)
+                .track_latency(not args.no_latency)
+                .defer_detection(True)
+            )
+            if sharded:
+                engine = builder.build_sharded(
+                    args.shards, batch_size=args.batch_size
+                )
+                engine.ingest(events)
+            else:
+                engine = builder.build_serial()
+                engine.feed(events)
+            engine.flush()
+            engine.process_deferred()
+            return sorted(report_signature(r) for r in engine.reports)
+
+        ok = True
+        for label, sharded in (
+            ("serial", False), (f"{args.shards}-shard", True),
+        ):
+            indexed_on = replay(True, sharded)
+            indexed_off = replay(False, sharded)
+            verdict = "EQUIVALENT" if indexed_on == indexed_off else "DIVERGED"
+            print(f"{verdict}: {label} reports with indexed_selection "
+                  f"on vs off ({len(indexed_on)} vs {len(indexed_off)} "
+                  "reports)")
+            ok = ok and indexed_on == indexed_off
+        if not ok:
             return 1
     return 0
 
@@ -311,7 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="statically verify the fingerprint library (5 analysis passes)",
+        help="statically verify the fingerprint library (7 analysis passes)",
     )
     lint.add_argument(
         "--library", metavar="FILE",
@@ -326,17 +507,69 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--passes", metavar="P1,P2",
         help="comma-separated subset of passes "
-             "(ambiguity, truncation, integrity, regex, noise-config)",
+             "(ambiguity, truncation, integrity, regex, noise-config, "
+             "discriminability, index-drift)",
     )
     lint.add_argument(
         "--max-symbols", type=int, default=None, metavar="N",
         help="override the symbol-space capacity checked by the "
              "integrity pass (capacity planning / testing)",
     )
+    lint.add_argument(
+        "--index", metavar="FILE",
+        help="check this compiled selection artifact for drift against "
+             "the live library (index-drift pass); default: compile a "
+             "fresh index as a self-check",
+    )
     lint.add_argument("--seed", type=int, default=0)
     lint.add_argument("--iterations", type=int, default=2)
     lint.add_argument("--no-cache", action="store_true")
     lint.set_defaults(handler=_cmd_lint)
+
+    index = sub.add_parser(
+        "index",
+        help="compile/inspect the candidate-selection artifact "
+             "(docs/indexing.md)",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help="statically compile the fingerprint library into the "
+             "versioned CompiledIndex artifact (canonical JSON)",
+    )
+    index_build.add_argument(
+        "--out", "-o", metavar="FILE",
+        help="write the artifact here (default: stdout)",
+    )
+    index_build.add_argument(
+        "--library", metavar="FILE",
+        help="compile a serialized fingerprint-library JSON instead of "
+             "the characterized suite",
+    )
+    index_build.add_argument("--seed", type=int, default=0)
+    index_build.add_argument("--iterations", type=int, default=2)
+    index_build.add_argument("--no-cache", action="store_true")
+    index_build.set_defaults(handler=_cmd_index_build)
+    index_inspect = index_sub.add_parser(
+        "inspect",
+        help="summarize an artifact; --check verifies it against the "
+             "live library (exit 1 on drift)",
+    )
+    index_inspect.add_argument("artifact", metavar="FILE")
+    index_inspect.add_argument(
+        "--check", action="store_true",
+        help="verify content hashes and postings against the live "
+             "library/symbol table; exit 1 on drift",
+    )
+    index_inspect.add_argument(
+        "--library", metavar="FILE",
+        help="with --check: the library JSON to verify against "
+             "(default: the characterized suite)",
+    )
+    index_inspect.add_argument("--seed", type=int, default=0)
+    index_inspect.add_argument("--iterations", type=int, default=2)
+    index_inspect.add_argument("--no-cache", action="store_true")
+    index_inspect.set_defaults(handler=_cmd_index_inspect)
 
     analyze = sub.add_parser(
         "analyze",
@@ -374,6 +607,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--verify-shards", action="store_true",
         help="also replay serially and assert identical report sets "
+             "(differential oracle; exit 1 on divergence)",
+    )
+    analyze.add_argument(
+        "--verify-selection", action="store_true",
+        help="prove indexed candidate selection equivalent to the "
+             "full scan on this stream's snapshots, then replay "
+             "end-to-end (serial and sharded) with indexed_selection "
+             "on vs off and assert bit-identical report sets "
              "(differential oracle; exit 1 on divergence)",
     )
     analyze.add_argument("--seed", type=int, default=0)

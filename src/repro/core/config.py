@@ -61,6 +61,15 @@ class GretelConfig:
     #: ``repro.core.matching.oracle.verify_detection`` is the proof —
     #: so this is a pure performance switch; off runs the reference.
     incremental_match: bool = True
+    #: Serve Algorithm 2 candidate selection from the compiled inverted
+    #: index (``repro.analysis.compile``): ``candidates_for`` becomes a
+    #: postings lookup plus prepared-candidate hydration instead of a
+    #: per-fingerprint preparation scan.  Candidate lists are provably
+    #: identical to the full-scan reference —
+    #: ``repro.analysis.compile.verify_selection`` is the differential
+    #: oracle — so this is a pure performance switch; off runs the
+    #: reference scan.
+    indexed_selection: bool = True
 
     #: §5.3.1 future work: "OpenStack is in the process of introducing
     #: a correlation identifier to tie together requests ... GRETEL can

@@ -41,6 +41,7 @@ import re as _re
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     FrozenSet,
@@ -60,6 +61,12 @@ from repro.core.matching.engine import MatchingEngine, MatchSession, select_cut
 from repro.core.precision import theta
 from repro.core.symbols import SymbolTable
 from repro.core.window import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # The compiler prepares candidates with this module's helpers, so
+    # the runtime import of the compiled index must stay lazy (inside
+    # ``OperationDetector._compiled_index``).
+    from repro.analysis.compile import CompiledIndex
 
 #: Cap on how many truncation points are tried per fingerprint.
 _MAX_TRUNCATIONS = 6
@@ -125,6 +132,11 @@ class _Candidate:
     _foreign: Optional["_re.Pattern"] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        if self.needle_counts:
+            # Hydrated from a compiled index: the alphabet and counts
+            # were computed once at compile time and are shared
+            # (read-only) across every hydration of this prep.
+            return
         source = self.needle
         self.alphabet = frozenset(source)
         self.needle_counts = dict(Counter(source))
@@ -190,6 +202,70 @@ class _Candidate:
         return select_cut(self.cut_lengths, lengths)
 
 
+def prepare_candidate(
+    fingerprint: Fingerprint,
+    effective: Fingerprint,
+    symbol: str,
+    *,
+    truncate: bool,
+    relaxed: bool,
+) -> _Candidate:
+    """Prepare one fingerprint for scoring against ``symbol`` faults.
+
+    The single source of truth for candidate preparation: the
+    detector's full-scan path calls it per ``candidates_for`` miss, and
+    the library compiler (``repro.analysis.compile``) calls it per
+    posting at compile time — so a hydrated candidate is bit-identical
+    to a scanned one by construction, not by parallel maintenance.
+
+    ``effective`` is the (possibly RPC-pruned) fingerprint; when
+    pruning removed the offending symbol itself, the unpruned
+    fingerprint is used for this candidate (the fault demonstrably
+    involved the pruned RPC).
+    """
+    if symbol not in effective.symbols:
+        effective = fingerprint
+    longest = effective.truncate_at(symbol) if truncate else effective
+    if relaxed:
+        required_symbols = longest.state_change_symbols
+    else:
+        # Strict ablation: every symbol (reads included) is a
+        # required literal.
+        required_symbols = longest.symbols
+    if truncate:
+        cut_lengths = _cut_lengths(longest, symbol, all_symbols=not relaxed)
+    else:
+        cut_lengths = [len(required_symbols)]
+    return _Candidate(
+        original=fingerprint,
+        sc_symbols=required_symbols,
+        cut_lengths=cut_lengths,
+        full_symbols=longest.symbols,
+        pure_read=not required_symbols,
+    )
+
+
+def _cut_lengths(fingerprint: Fingerprint, symbol: str,
+                 all_symbols: bool = False) -> List[int]:
+    """Required-symbol prefix lengths at each occurrence of
+    ``symbol`` (state-change prefix by default; every symbol in the
+    strict ablation)."""
+    cuts: List[int] = []
+    count = 0
+    for sym, is_sc in zip(fingerprint.symbols, fingerprint.state_change_mask):
+        if all_symbols or is_sc:
+            count += 1
+        if sym == symbol:
+            if not cuts or cuts[-1] != count:
+                cuts.append(count)
+    cuts = [c for c in cuts if c > 0]
+    if not cuts:
+        total = (len(fingerprint.symbols) if all_symbols
+                 else len(fingerprint.state_change_symbols))
+        cuts = [total]
+    return cuts[-_MAX_TRUNCATIONS:]
+
+
 @dataclass
 class DetectionResult:
     """Outcome of operation detection for one fault."""
@@ -224,6 +300,8 @@ class OperationDetector:
         symbols: SymbolTable,
         catalog: ApiCatalog,
         config: Optional[GretelConfig] = None,
+        *,
+        compiled_index: Optional["CompiledIndex"] = None,
     ):
         self.library = library
         self.symbols = symbols
@@ -232,6 +310,18 @@ class OperationDetector:
         self._rest_only_cache: Dict[str, Fingerprint] = {}
         self._candidate_cache: Dict[Tuple[str, bool], List[_Candidate]] = {}
         self._fragment_cache: Dict[str, str] = {}
+        #: Compiled selection index (``docs/indexing.md``).  ``None``
+        #: under ``indexed_selection`` means "compile lazily on first
+        #: selection"; an injected artifact is used as-is (the
+        #: ``verify_selection`` negative-oracle tests rely on that).
+        self._compiled = compiled_index
+        self._compile_attempted = compiled_index is not None
+        #: Selection counters, surfaced through ``PipelineStats``:
+        #: postings entries examined (both paths) and candidates
+        #: hydrated from the compiled index rather than prepared by
+        #: the full scan.
+        self.postings_scanned = 0
+        self.candidates_indexed = 0
         #: Incremental scoring engine (``docs/matching.md``); its
         #: counters accumulate across every detection this detector
         #: runs and surface through ``PipelineStats``.
@@ -255,69 +345,86 @@ class OperationDetector:
             self._rest_only_cache[fingerprint.operation] = cached
         return cached
 
+    def _compiled_index(self) -> Optional["CompiledIndex"]:
+        """The compiled selection index, compiling lazily on first use.
+
+        The compile is memoized per ``(library, version, flags)`` in
+        ``repro.analysis.compile``, so the shards of one analyzer — or
+        any number of detectors over one library — share a single
+        compilation.  An index compiled for different selection flags
+        than this detector's config is never used (the full scan runs
+        instead): serving mismatched preparations would change
+        diagnoses, not just speed.
+        """
+        if not self._compile_attempted:
+            self._compile_attempted = True
+            from repro.analysis.compile import compiled_index_for
+
+            self._compiled = compiled_index_for(
+                self.library, self.symbols, self.catalog, self.config,
+            )
+        index = self._compiled
+        if index is not None and not index.serves(self.config):
+            return None
+        return index
+
     def candidates_for(self, api_key: str, *,
                        truncate: bool = True) -> List["_Candidate"]:
-        """Possible offending operations with truncation cut points."""
+        """Possible offending operations with truncation cut points.
+
+        Candidates are ordered by operation name (the
+        :meth:`FingerprintLibrary.ops_containing` contract).  Under
+        ``indexed_selection`` the list is hydrated from the compiled
+        index's postings; otherwise every containing fingerprint is
+        prepared from scratch.  Both paths produce identical lists —
+        ``repro.analysis.compile.verify_selection`` is the oracle.
+        """
         cache_key = (api_key, truncate)
         cached = self._candidate_cache.get(cache_key)
         if cached is not None:
             return cached
 
         symbol = self.symbols.symbol(api_key)
-        prepared: List[_Candidate] = []
-        for fingerprint in self.library.ops_containing(symbol):
-            effective = self._effective(fingerprint)
-            if symbol not in effective.symbols:
-                # Pruning removed the offending symbol (an RPC): fall
-                # back to the unpruned fingerprint for this candidate.
-                effective = fingerprint
-            truncate_here = truncate and self.config.truncate_fingerprints
-            if truncate_here:
-                longest = effective.truncate_at(symbol)
-            else:
-                longest = effective
-            if self.config.relaxed_match:
-                required_symbols = longest.state_change_symbols
-            else:
-                # Strict ablation: every symbol (reads included) is a
-                # required literal.
-                required_symbols = longest.symbols
-            if truncate_here:
-                cut_lengths = self._cut_lengths(
-                    longest, symbol, all_symbols=not self.config.relaxed_match
-                )
-            else:
-                cut_lengths = [len(required_symbols)]
-            prepared.append(_Candidate(
-                original=fingerprint,
-                sc_symbols=required_symbols,
-                cut_lengths=cut_lengths,
-                full_symbols=longest.symbols,
-                pure_read=not required_symbols,
-            ))
+        index = (
+            self._compiled_index() if self.config.indexed_selection
+            else None
+        )
+        if index is not None:
+            prepared = self._hydrate_candidates(index, symbol, truncate)
+        else:
+            prepared = self._scan_candidates(symbol, truncate)
         self._candidate_cache[cache_key] = prepared
         return prepared
 
-    @staticmethod
-    def _cut_lengths(fingerprint: Fingerprint, symbol: str,
-                     all_symbols: bool = False) -> List[int]:
-        """Required-symbol prefix lengths at each occurrence of
-        ``symbol`` (state-change prefix by default; every symbol in the
-        strict ablation)."""
-        cuts: List[int] = []
-        count = 0
-        for sym, is_sc in zip(fingerprint.symbols, fingerprint.state_change_mask):
-            if all_symbols or is_sc:
-                count += 1
-            if sym == symbol:
-                if not cuts or cuts[-1] != count:
-                    cuts.append(count)
-        cuts = [c for c in cuts if c > 0]
-        if not cuts:
-            total = (len(fingerprint.symbols) if all_symbols
-                     else len(fingerprint.state_change_symbols))
-            cuts = [total]
-        return cuts[-_MAX_TRUNCATIONS:]
+    def _scan_candidates(self, symbol: str,
+                         truncate: bool) -> List["_Candidate"]:
+        """Full-scan candidate preparation (the reference path)."""
+        truncate_here = truncate and self.config.truncate_fingerprints
+        relaxed = self.config.relaxed_match
+        prepared: List[_Candidate] = []
+        for fingerprint in self.library.ops_containing(symbol):
+            self.postings_scanned += 1
+            prepared.append(prepare_candidate(
+                fingerprint, self._effective(fingerprint), symbol,
+                truncate=truncate_here, relaxed=relaxed,
+            ))
+        return prepared
+
+    def _hydrate_candidates(self, index: "CompiledIndex", symbol: str,
+                            truncate: bool) -> List["_Candidate"]:
+        """Postings lookup + prepared-candidate hydration.
+
+        The hydrated list itself is memoized on the *artifact*
+        (:meth:`CompiledIndex.hydrated`): every detector served from
+        one index — e.g. all shards of a sharded analyzer — shares the
+        same read-only candidate objects, so hydration is paid once
+        per ``(symbol, truncation)`` per artifact, not per detector.
+        """
+        use_truncated = truncate and self.config.truncate_fingerprints
+        prepared = index.hydrated(symbol, use_truncated, self.library)
+        self.postings_scanned += len(prepared)
+        self.candidates_indexed += len(prepared)
+        return prepared
 
     # -- buffer encoding ----------------------------------------------------------
 

@@ -366,9 +366,22 @@ class FingerprintLibrary:
         self.symbols = symbols
         self._fingerprints: Dict[str, Fingerprint] = {}
         self._containing: Dict[str, Set[str]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every :meth:`add`.
+
+        Compiled artifacts derived from the library (the
+        ``repro.analysis.compile`` index) key their caches on
+        ``(library, version)`` so a mutated library can never serve a
+        stale compilation.
+        """
+        return self._version
 
     def add(self, fingerprint: Fingerprint) -> None:
         """Register a fingerprint (replacing any previous one)."""
+        self._version += 1
         previous = self._fingerprints.get(fingerprint.operation)
         if previous is not None:
             for symbol in set(previous.symbols):
@@ -437,9 +450,29 @@ class FingerprintLibrary:
         return sorted(self._fingerprints)
 
     def ops_containing(self, symbol: str) -> List[Fingerprint]:
-        """GET_POSSIBLE_OFFENDING_OPERATIONS(A) from Algorithm 2."""
+        """GET_POSSIBLE_OFFENDING_OPERATIONS(A) from Algorithm 2.
+
+        Ordering contract: fingerprints are returned **sorted by
+        operation name**, never in library insertion order.  Candidate
+        ranking ties (``length_tolerance``) resolve in candidate-list
+        order, and the compiled selection index
+        (``repro.analysis.compile``) stores its postings sorted by
+        operation name — the two paths can only be proven equivalent
+        because this order is pinned.  A regression test guards it
+        (``tests/core/test_fingerprint.py``).
+        """
         names = self._containing.get(symbol, set())
         return [self._fingerprints[name] for name in sorted(names)]
+
+    def postings(self) -> Dict[str, Tuple[str, ...]]:
+        """The inverted index as canonical data: symbol → operation
+        names, sorted by operation name per symbol, symbols sorted by
+        code point.  This is the ground truth the compiled selection
+        index snapshots and the lint drift pass re-derives."""
+        return {
+            symbol: tuple(sorted(names))
+            for symbol, names in sorted(self._containing.items())
+        }
 
     @property
     def fp_max(self) -> int:

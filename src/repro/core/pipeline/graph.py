@@ -130,7 +130,8 @@ class AnalysisPipeline:
         return self.publish.reports
 
     def stats(self) -> PipelineStats:
-        matching = self.detection.detector.matching.stats
+        detector = self.detection.detector
+        matching = detector.matching.stats
         tracker = self.latency.tracker
         return PipelineStats(
             events_processed=self.ingest.events_processed,
@@ -141,6 +142,8 @@ class AnalysisPipeline:
             candidates_gated=matching.candidates_gated,
             lcs_row_extensions=matching.lcs_row_extensions,
             lcs_symbols_fed=matching.lcs_symbols_fed,
+            postings_scanned=detector.postings_scanned,
+            candidates_indexed=detector.candidates_indexed,
             ls_samples_fed=tracker.ls_samples_fed,
             ls_threshold_recomputes=tracker.ls_threshold_recomputes,
         )
@@ -226,6 +229,13 @@ class AnalysisPipeline:
         """Freeze and analyze any pending (partial) snapshots."""
         for snapshot in self.windowing.flush():
             self._dispatch(snapshot)
+
+    def deferred_snapshots(self) -> List[Snapshot]:
+        """Snapshots parked by ``defer_detection``, in freeze order
+        (read-only view; :meth:`process_deferred` drains them).  The
+        differential oracles (`repro analyze --verify-selection`)
+        replay these through paired detectors."""
+        return list(self._deferred)
 
     def process_deferred(self) -> int:
         """Analyze snapshots parked by ``defer_detection``; return the

@@ -54,6 +54,13 @@ class PipelineStats:
     candidates_gated: int = 0
     lcs_row_extensions: int = 0
     lcs_symbols_fed: int = 0
+    # Candidate-selection counters (``docs/indexing.md``): postings
+    # entries examined during ``candidates_for`` (both paths), and
+    # candidates hydrated from the compiled index instead of prepared
+    # by the full scan — equal to ``postings_scanned`` when every
+    # selection was served from the index, 0 when it is disabled.
+    postings_scanned: int = 0
+    candidates_indexed: int = 0
     # Level-shift engine counters (``repro.core.streamstats``):
     # latency samples fed to per-API detectors, and (median, MAD,
     # threshold) triples actually recomputed — cache misses under the

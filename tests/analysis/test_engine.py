@@ -9,9 +9,10 @@ from repro.analysis.findings import LintReport, Severity
 from repro.openstack.catalog import default_catalog
 
 
-def test_registry_has_all_five_passes():
+def test_registry_has_all_seven_passes():
     assert list(PASSES) == [
         "ambiguity", "truncation", "integrity", "regex", "noise-config",
+        "discriminability", "index-drift",
     ]
 
 

@@ -311,6 +311,35 @@ def test_library_index(catalog, symbols):
     assert library.operations() == ["op-a", "op-b", "op-c"]
 
 
+def test_ops_containing_order_is_sorted_by_operation_name(
+    catalog, symbols
+):
+    """The postings order is a pinned contract (docs/indexing.md):
+    sorted by operation name, independent of insertion order."""
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    library = make_library(
+        catalog, symbols,
+        ("op-zulu", [boot]),
+        ("op-alpha", [boot]),
+        ("op-mike", [boot]),
+    )
+    names = [
+        fp.operation
+        for fp in library.ops_containing(symbols.symbol(boot))
+    ]
+    assert names == ["op-alpha", "op-mike", "op-zulu"]
+    # postings() exposes the same canonical order for every symbol.
+    assert library.postings()[symbols.symbol(boot)] == tuple(names)
+
+
+def test_library_version_counts_mutations(catalog, symbols):
+    boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
+    library = make_library(catalog, symbols, ("op-a", [boot]))
+    before = library.version
+    library.add(generate_fingerprint("op-b", [[boot]], symbols, catalog))
+    assert library.version == before + 1
+
+
 def test_library_replacement_updates_index(catalog, symbols):
     boot = catalog.find_rest("nova", "POST", "/v2.1/servers").key
     upload = catalog.find_rest("glance", "PUT", "/v2/images/{id}/file").key

@@ -1,9 +1,13 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -70,7 +74,8 @@ def test_lint_clean_library_exits_zero(full_character, capsys):
     out = capsys.readouterr().out
     assert "repro lint: 1200 fingerprints" in out
     assert "0 error(s)" in out
-    assert "passes: ambiguity, truncation, integrity, regex, noise-config" in out
+    assert ("passes: ambiguity, truncation, integrity, regex, "
+            "noise-config, discriminability, index-drift") in out
 
 
 def test_lint_strict_flags_injected_ambiguous_pair(tmp_path, capsys):
@@ -116,6 +121,117 @@ def test_lint_unreadable_library_is_usage_error(tmp_path, capsys):
 
 
 # ---------------------------------------------------------------------------
+# repro index
+# ---------------------------------------------------------------------------
+
+def _drifted_copy(library_path, tmp_path):
+    """The same library minus one fingerprint — a stale-index library."""
+    with open(library_path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    del data["fingerprints"][0]
+    path = tmp_path / "drifted.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_index_build_and_inspect_round_trip(tmp_path, capsys):
+    library = _ambiguous_library_file(tmp_path)
+    artifact = str(tmp_path / "index.json")
+    assert main(["index", "build", "--library", library,
+                 "--out", artifact]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "2 operations" in out
+
+    assert main(["index", "inspect", artifact]) == 0
+    out = capsys.readouterr().out
+    assert "format version: 1" in out
+    assert "selection flags: prune_rpcs=True" in out
+    assert "longest postings lists:" in out
+
+    assert main(["index", "inspect", artifact, "--check",
+                 "--library", library]) == 0
+    assert "fresh" in capsys.readouterr().out
+
+
+def test_index_inspect_check_reports_drift(tmp_path, capsys):
+    library = _ambiguous_library_file(tmp_path)
+    artifact = str(tmp_path / "index.json")
+    assert main(["index", "build", "--library", library,
+                 "--out", artifact]) == 0
+    capsys.readouterr()
+    # A different library behind the same artifact: stale hashes.
+    other = _drifted_copy(library, tmp_path)
+    assert main(["index", "inspect", artifact, "--check",
+                 "--library", other]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFT:" in out
+    assert "library hash mismatch" in out
+
+
+def test_index_build_writes_to_stdout_without_out(tmp_path, capsys):
+    library = _ambiguous_library_file(tmp_path)
+    assert main(["index", "build", "--library", library]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format_version"] == 1
+
+
+def test_index_inspect_unreadable_artifact_is_usage_error(
+    tmp_path, capsys
+):
+    assert main(["index", "inspect",
+                 str(tmp_path / "missing.json")]) == 2
+    assert "cannot read index" in capsys.readouterr().err
+
+
+def test_lint_with_stale_index_fails(tmp_path, capsys):
+    library = _ambiguous_library_file(tmp_path)
+    artifact = str(tmp_path / "index.json")
+    assert main(["index", "build", "--library", library,
+                 "--out", artifact]) == 0
+    capsys.readouterr()
+    other = _drifted_copy(library, tmp_path)
+    assert main(["lint", "--library", other, "--index", artifact,
+                 "--passes", "index-drift"]) == 1
+    assert "IDX001" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Determinism: byte-identical output across hash seeds
+# ---------------------------------------------------------------------------
+
+def _cli_subprocess(args, hash_seed):
+    """Run the CLI in a subprocess under a pinned PYTHONHASHSEED."""
+    src = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__
+    )))
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = src
+    script = (
+        "import sys; from repro.cli import main; "
+        "sys.exit(main(sys.argv[1:]))"
+    )
+    run = subprocess.run(
+        [sys.executable, "-c", script, *args],
+        capture_output=True, env=env, check=False,
+    )
+    assert run.returncode == 0, run.stderr.decode()
+    return run.stdout
+
+
+def test_lint_json_is_hash_seed_invariant(tmp_path):
+    library = _ambiguous_library_file(tmp_path)
+    args = ["lint", "--library", library, "--format", "json"]
+    assert _cli_subprocess(args, "0") == _cli_subprocess(args, "1")
+
+
+def test_index_build_is_hash_seed_invariant(tmp_path):
+    library = _ambiguous_library_file(tmp_path)
+    args = ["index", "build", "--library", library]
+    assert _cli_subprocess(args, "0") == _cli_subprocess(args, "1")
+
+
+# ---------------------------------------------------------------------------
 # repro analyze
 # ---------------------------------------------------------------------------
 
@@ -135,3 +251,23 @@ def test_analyze_verify_shards_oracle(full_character, capsys):
     out = capsys.readouterr().out
     assert "EQUIVALENT" in out
     assert "4-shard on 4000 events" in out
+
+
+def test_analyze_verify_selection_oracle(full_character, capsys):
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--no-latency", "--verify-selection"]) == 0
+    out = capsys.readouterr().out
+    assert "EQUIVALENT: indexed vs full-scan selection" in out
+    assert "serial reports with indexed_selection on vs off" in out
+    assert "2-shard reports with indexed_selection on vs off" in out
+    assert "DIVERGED" not in out
+
+
+def test_analyze_stage_stats_report_selection_counters(
+    full_character, capsys
+):
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--no-latency", "--stage-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "candidate selection: postings_scanned=" in out
+    assert "candidates_indexed=" in out
