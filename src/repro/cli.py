@@ -26,6 +26,11 @@ Commands
     ``--verify-selection`` proves indexed candidate selection
     equivalent to the full scan (differential oracles; see
     ``docs/parallelism.md`` and ``docs/indexing.md``).
+``scenarios list`` / ``scenarios run``
+    Enumerate the fault-injection scenario catalog, or run it (or a
+    subset) with graded oracles against both the serial and the
+    sharded pipeline; ``--check`` diffs the scorecard against a
+    committed baseline (see ``docs/scenarios.md``).
 """
 
 from __future__ import annotations
@@ -453,6 +458,86 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import all_scenarios
+
+    if args.format == "json":
+        entries = [
+            {
+                "name": cls.name,
+                "family": cls.family,
+                "description": cls.description,
+                "is_control": cls.is_control,
+                "equivalence": cls.equivalence,
+            }
+            for cls in all_scenarios()
+        ]
+        print(json.dumps(entries, indent=2))
+        return 0
+    for cls in all_scenarios():
+        control = " [control]" if cls.is_control else ""
+        print(f"{cls.name:<26} {cls.family:<13}{control}")
+        print(f"    {cls.description}")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.evaluation.common import default_characterization
+    from repro.scenarios import (
+        build_scorecard,
+        diff_scorecards,
+        dump_scorecard,
+        names,
+        render_scorecard,
+        run_catalog,
+    )
+
+    selected = args.scenario or None
+    if selected:
+        unknown = [name for name in selected if name not in names()]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}; "
+                  f"choose from: {', '.join(names())}", file=sys.stderr)
+            return 2
+
+    character = default_characterization(use_disk_cache=not args.no_cache)
+    result = run_catalog(
+        character, seed=args.seed, shards=args.shards, names=selected,
+    )
+    document = build_scorecard(result)
+
+    if args.format == "json":
+        sys.stdout.write(dump_scorecard(document))
+    else:
+        print(render_scorecard(document))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(dump_scorecard(document))
+
+    if args.check:
+        try:
+            with open(args.check, "r", encoding="utf-8") as handle:
+                committed = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read baseline {args.check!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        drift = diff_scorecards(committed, document)
+        if drift:
+            print("DRIFT against committed scorecard:", file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("scorecard matches the committed baseline", file=sys.stderr)
+
+    return 0 if result.all_pass else 1
+
+
 EXPERIMENTS = ("table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c",
                "fig8a", "fig8b", "fig8c", "overhead", "hansel")
 
@@ -620,6 +705,51 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=0)
     analyze.add_argument("--no-cache", action="store_true")
     analyze.set_defaults(handler=_cmd_analyze)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="fault-injection scenario catalog with graded oracles "
+             "(docs/scenarios.md)",
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_command", required=True,
+    )
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="enumerate the registered scenarios"
+    )
+    scenarios_list.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    scenarios_list.set_defaults(handler=_cmd_scenarios_list)
+    scenarios_run = scenarios_sub.add_parser(
+        "run",
+        help="capture, replay (serial + sharded) and grade scenarios; "
+             "exit 1 on any FAIL or scorecard drift",
+    )
+    scenarios_run.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="run only this scenario (repeatable; default: full "
+             "catalog)",
+    )
+    scenarios_run.add_argument("--seed", type=int, default=0)
+    scenarios_run.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for the parallel replay (default 4)",
+    )
+    scenarios_run.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    scenarios_run.add_argument(
+        "--out", "-o", metavar="FILE",
+        help="also write the JSON scorecard here",
+    )
+    scenarios_run.add_argument(
+        "--check", metavar="FILE",
+        help="diff the scorecard against this committed baseline; "
+             "exit 1 on drift",
+    )
+    scenarios_run.add_argument("--no-cache", action="store_true")
+    scenarios_run.set_defaults(handler=_cmd_scenarios_run)
 
     return parser
 

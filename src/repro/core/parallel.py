@@ -401,15 +401,19 @@ def verify_equivalence(
     batch_size: int = DEFAULT_BATCH_SIZE,
     config: Optional[GretelConfig] = None,
     catalog: Optional[ApiCatalog] = None,
+    store: Optional[MetadataStore] = None,
     track_latency: bool = True,
     defer_detection: bool = False,
     strict: bool = True,
 ) -> EquivalenceResult:
     """Replay ``events`` serially and sharded; compare report sets.
 
-    Both analyzers run the same configuration against fresh (empty)
-    metadata stores, the stream is flushed, and — when detection is
-    deferred — both backlogs are drained.  Reports are compared as
+    Both analyzers run the same configuration, the stream is flushed,
+    and — when detection is deferred — both backlogs are drained.
+    By default each half gets a fresh (empty) metadata store; passing
+    ``store`` (e.g. the populated store of a captured live run) makes
+    both halves consult the same read-only metadata, so root-cause
+    findings are part of the comparison too.  Reports are compared as
     multisets of :func:`report_signature`; with ``strict`` (the
     default) any divergence raises :class:`ShardDivergence`, otherwise
     the caller inspects :attr:`EquivalenceResult.ok`.
@@ -418,7 +422,8 @@ def verify_equivalence(
     config = config or GretelConfig()
 
     serial = GretelAnalyzer(
-        library, catalog=catalog, store=MetadataStore(), config=config,
+        library, catalog=catalog, store=store or MetadataStore(),
+        config=config,
         track_latency=track_latency, defer_detection=defer_detection,
     )
     serial.feed(events)
@@ -426,7 +431,8 @@ def verify_equivalence(
 
     sharded = ShardedAnalyzer(
         library, shards, key=key, batch_size=batch_size, catalog=catalog,
-        store=MetadataStore(), config=config, track_latency=track_latency,
+        store=store or MetadataStore(), config=config,
+        track_latency=track_latency,
         defer_detection=defer_detection,
     )
     sharded.feed(events)

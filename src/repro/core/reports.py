@@ -54,6 +54,39 @@ class FaultReport:
         """Detection precision for this fault."""
         return self.detection.theta
 
+    # -- verdict extraction (used by oracle graders) -----------------------
+
+    def within(self, start: float, end: Optional[float] = None,
+               slack: float = 0.0) -> bool:
+        """Whether the offending wire event falls in ``[start, end+slack]``.
+
+        Timing is judged on the fault *event* (``ts_response``), not the
+        report timestamp: the report lands after the snapshot's α/2
+        future-fill, which would smear every injection window by the
+        fill delay.  ``end=None`` leaves the window open-ended.
+        """
+        ts = self.fault_event.ts_response
+        if ts < start:
+            return False
+        return end is None or ts <= end + slack
+
+    def implicates_service(self, *services: str) -> bool:
+        """Whether the offending event targets one of ``services``."""
+        return self.fault_event.dst_service in services
+
+    def has_root_cause(self, kind: str, subject: str,
+                       node: Optional[str] = None) -> bool:
+        """Whether Algorithm 3 produced a matching finding.
+
+        ``kind`` and ``subject`` must match exactly; ``node=None``
+        accepts the finding on any node.
+        """
+        return any(
+            cause.kind == kind and cause.subject == subject
+            and (node is None or cause.node == node)
+            for cause in self.root_causes
+        )
+
     def summary(self) -> str:
         """A one-paragraph operator-facing summary."""
         ops = ", ".join(self.operations) or "<no operation matched>"

@@ -55,12 +55,7 @@ def _find_test(prefix: str):
 
 def _has_cause(reports: List[FaultReport], kind: str, subject: str,
                node: Optional[str] = None) -> bool:
-    return any(
-        cause.kind == kind and cause.subject == subject
-        and (node is None or cause.node == node)
-        for report in reports
-        for cause in report.root_causes
-    )
+    return any(r.has_root_cause(kind, subject, node) for r in reports)
 
 
 def vm_create_no_compute(

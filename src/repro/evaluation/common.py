@@ -8,7 +8,7 @@ import os
 import random
 import tempfile
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.openstack.cloud import Cloud
 from repro.openstack.apis import ApiKind
@@ -122,6 +122,94 @@ def make_monitored_analyzer(
     plane.subscribe_events(analyzer.on_event)
     plane.start()
     return cloud, plane, analyzer
+
+
+# ---------------------------------------------------------------------------
+# Precision / recall accounting (Fig. 5–7 style, shared with
+# repro.scenarios)
+# ---------------------------------------------------------------------------
+
+def safe_ratio(numerator: float, denominator: float) -> Optional[float]:
+    """``numerator / denominator``, or ``None`` for the 0/0 case.
+
+    Precision over zero reports (a clean no-op control) is *undefined*,
+    not 0 and not 1; callers render ``None`` as ``n/a`` and drift gates
+    compare it literally.
+    """
+    if denominator == 0:
+        return None
+    return numerator / denominator
+
+
+def f1_score(precision: Optional[float],
+             recall: Optional[float]) -> Optional[float]:
+    """Harmonic mean of precision and recall; ``None`` when undefined."""
+    if precision is None or recall is None:
+        return None
+    if precision + recall == 0:
+        return None
+    return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class DetectionCounts:
+    """Confusion counts for one (or many) fault-injection runs.
+
+    Precision is report-level — of everything GRETEL reported, how much
+    traces back to an injected fault — while recall is instance-level:
+    of the fault instances injected, how many produced at least one
+    attributable report.  (One injected fault legitimately yields
+    several reports, e.g. repeated status-poll errors, so counting
+    recall over reports would let a chatty fault mask a missed one.)
+    """
+
+    true_reports: int = 0      # reports attributable to an injection
+    false_reports: int = 0     # reports attributable to nothing
+    instances: int = 0         # injected fault instances (ground truth)
+    detected_instances: int = 0
+
+    @property
+    def precision(self) -> Optional[float]:
+        """Attributable fraction of reports (``None`` over 0 reports)."""
+        return safe_ratio(self.true_reports,
+                          self.true_reports + self.false_reports)
+
+    @property
+    def recall(self) -> Optional[float]:
+        """Detected fraction of instances (``None`` over 0 instances)."""
+        return safe_ratio(self.detected_instances, self.instances)
+
+    @property
+    def f1(self) -> Optional[float]:
+        """Harmonic mean of precision and recall (``None`` if undefined)."""
+        return f1_score(self.precision, self.recall)
+
+    @staticmethod
+    def micro(parts: Iterable["DetectionCounts"]) -> "DetectionCounts":
+        """Micro-average: sum the raw counts across runs."""
+        true_reports = false_reports = instances = detected = 0
+        for part in parts:
+            true_reports += part.true_reports
+            false_reports += part.false_reports
+            instances += part.instances
+            detected += part.detected_instances
+        return DetectionCounts(true_reports, false_reports,
+                               instances, detected)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-stable rendering (floats rounded, ``None`` preserved)."""
+        def _round(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value, 6)
+
+        return {
+            "true_reports": self.true_reports,
+            "false_reports": self.false_reports,
+            "instances": self.instances,
+            "detected_instances": self.detected_instances,
+            "precision": _round(self.precision),
+            "recall": _round(self.recall),
+            "f1": _round(self.f1),
+        }
 
 
 # ---------------------------------------------------------------------------

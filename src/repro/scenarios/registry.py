@@ -1,0 +1,68 @@
+"""The scenario registry: name → class, populated by decorator.
+
+Mirrors the SREGym problem registry: scenario classes self-register at
+import time via :func:`scenario`, and consumers (CLI, runner, tests)
+look them up by name or iterate the whole catalog in deterministic
+(sorted) order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.scenarios.base import Scenario
+
+_REGISTRY: Dict[str, Type[Scenario]] = {}
+
+
+def scenario(cls: Type[Scenario]) -> Type[Scenario]:
+    """Class decorator: add ``cls`` to the catalog under ``cls.name``."""
+    if not cls.name:
+        raise ValueError(f"scenario class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate scenario name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get(name: str) -> Type[Scenario]:
+    """Look up one scenario class; raises ``KeyError`` with choices."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from: "
+            + ", ".join(names())
+        ) from None
+
+
+def names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[Type[Scenario]]:
+    """All registered scenario classes, sorted by name."""
+    return [_REGISTRY[name] for name in names()]
+
+
+def register_for_testing(cls: Type[Scenario],
+                         replace: bool = False) -> Callable[[], None]:
+    """Register a scenario temporarily; returns an undo callback.
+
+    Test helper: lets suites inject synthetic scenarios (e.g. a
+    deliberately mis-localized one) without leaking them into the
+    catalog other tests see.
+    """
+    if cls.name in _REGISTRY and not replace:
+        raise ValueError(f"duplicate scenario name {cls.name!r}")
+    previous = _REGISTRY.get(cls.name)
+    _REGISTRY[cls.name] = cls
+
+    def undo() -> None:
+        if previous is None:
+            _REGISTRY.pop(cls.name, None)
+        else:
+            _REGISTRY[cls.name] = previous
+
+    return undo

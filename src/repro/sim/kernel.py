@@ -264,6 +264,21 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past: {delay!r}")
         heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback, args))
 
+    def call_at(self, when: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute simulated time ``when``.
+
+        The absolute-time twin of :meth:`schedule`: fault-injection
+        scripts (``repro.scenarios``) pin their perturbations to fixed
+        points on the simulated clock *before* the workload starts, so
+        a scenario's injection timeline is part of its seed-determined
+        identity rather than relative to whenever the injector runs.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={when!r} < now={self.now!r}"
+            )
+        heapq.heappush(self._heap, (when, next(self._sequence), callback, args))
+
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Create and start a :class:`Process` from ``generator``."""
         process = Process(self, generator, name=name)

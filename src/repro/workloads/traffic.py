@@ -7,6 +7,16 @@ from a fingerprint library: a pool of concurrent "operations" (each a
 fingerprint's API sequence) is interleaved round-robin at a fixed
 packet rate, and every ``fault_every``-th REST message carries an
 error status.
+
+Fault accounting caveat: a *fault slot* opens at every
+``fault_every``-th emitted event, but the slot only fires when the
+event landing on it happens to be REST — RPC messages never carry an
+injected error status.  In particular a ``fault_every`` larger than
+the stream length opens **zero** slots and the stream is silently
+fault-free; :meth:`SyntheticStream.fault_slots` exposes the slot
+count so callers (e.g. scenario injectors in ``repro.scenarios``) can
+assert their stream actually carries faults instead of discovering a
+vacuous experiment downstream.
 """
 
 from __future__ import annotations
@@ -138,6 +148,17 @@ class SyntheticStream:
     def events(self, count: int) -> List[WireEvent]:
         """Materialized list form of :meth:`generate`."""
         return list(self.generate(count))
+
+    def fault_slots(self, count: int) -> int:
+        """Number of fault slots a ``count``-event stream opens.
+
+        A slot opens at emitted positions ``fault_every, 2·fault_every,
+        ...`` (1-based), i.e. ``count // fault_every`` slots in total —
+        **zero** when ``fault_every > count``.  Each slot injects an
+        error only if the event on it is REST, so the realized error
+        count is bounded above by (and usually close to) this value.
+        """
+        return count // self.fault_every
 
     def total_bytes(self, events: Sequence[WireEvent]) -> int:
         """Total wire bytes of a generated stream."""

@@ -1,0 +1,53 @@
+"""Fixtures and report factories for the scenario-catalog tests."""
+
+import pytest
+
+from repro.core.detector import DetectionResult
+from repro.core.reports import FaultReport, RootCauseFinding
+from repro.openstack.apis import ApiKind
+from repro.openstack.wire import WireEvent
+
+
+def make_event(*, seq=1, service="nova", status=500, ts=1.0,
+               op_id="tempest-compute-0001",
+               api_key="rest:nova:POST:/v2.1/servers"):
+    """A minimal REST wire event for oracle unit tests."""
+    return WireEvent(
+        seq=seq, api_key=api_key, kind=ApiKind.REST, method="POST",
+        name=api_key.split(":", 3)[-1], src_service="horizon",
+        src_node="ctrl", src_ip="10.0.0.10", dst_service=service,
+        dst_node="nova-ctl", dst_ip="10.0.0.11",
+        ts_request=ts - 0.002, ts_response=ts, status=status,
+        op_id=op_id,
+    )
+
+
+def make_report(*, kind="operational", ts=1.0, service="nova",
+                status=500, op_id="tempest-compute-0001",
+                operations=(), causes=()):
+    """A hand-built fault report with the fields oracles inspect."""
+    event = make_event(service=service, status=status, ts=ts,
+                       op_id=op_id)
+    detection = DetectionResult(
+        fault=event,
+        matched=[],
+        candidates=len(operations),
+        theta=1.0 / max(1, len(operations)),
+        beta_used=384,
+        iterations=1,
+        window_span=(ts - 1.0, ts + 1.0),
+    )
+    # DetectionResult.operations is derived from matched fingerprints;
+    # tests fake it with a lightweight stand-in per operation name.
+    detection.matched = [type("Fp", (), {"operation": name})()
+                         for name in operations]
+    findings = [RootCauseFinding(node=node, kind=ckind, subject=subject,
+                                 detail="test")
+                for (ckind, subject, node) in causes]
+    return FaultReport(ts=ts + 0.5, kind=kind, fault_event=event,
+                       detection=detection, root_causes=findings)
+
+
+@pytest.fixture
+def report_factory():
+    return make_report

@@ -1,0 +1,120 @@
+"""Unit tests for the scenario anatomy: specs, sealing, determinism."""
+
+import pytest
+
+from repro.monitoring.store import MetadataStore
+from repro.scenarios import (
+    CapturedRun,
+    Expectation,
+    FaultSpec,
+    Scenario,
+    ScenarioError,
+)
+from tests.scenarios.conftest import make_report
+
+
+class _Stub(Scenario):
+    name = "stub"
+    family = "test"
+    description = "stub"
+
+    def capture(self):
+        return self._seal([], MetadataStore(), injected=1, duration=0.0)
+
+    def expectation(self, captured):
+        return Expectation(faults=())
+
+
+class _StubControl(_Stub):
+    name = "stub_control"
+    is_control = True
+
+
+# -- FaultSpec.attributes ---------------------------------------------------
+
+def test_spec_attributes_matching_report():
+    spec = FaultSpec(label="x", start=0.5, services=("nova",),
+                     statuses=(500,), op_id="tempest-compute-0001")
+    assert spec.attributes(make_report(ts=1.0))
+
+
+def test_spec_rejects_wrong_kind():
+    spec = FaultSpec(label="x", start=0.0)
+    assert not spec.attributes(make_report(kind="performance"))
+    assert FaultSpec(label="x", start=0.0,
+                     kind="performance").attributes(
+        make_report(kind="performance"))
+
+
+def test_spec_rejects_event_before_window():
+    spec = FaultSpec(label="x", start=2.0)
+    assert not spec.attributes(make_report(ts=1.0))
+
+
+def test_spec_window_end_plus_slack():
+    spec = FaultSpec(label="x", start=0.0, end=2.0, slack=1.0)
+    assert spec.attributes(make_report(ts=2.9))
+    assert not spec.attributes(make_report(ts=3.1))
+
+
+def test_spec_open_ended_window():
+    spec = FaultSpec(label="x", start=0.0)
+    assert spec.attributes(make_report(ts=1e9))
+
+
+def test_spec_rejects_wrong_service_status_op():
+    base = dict(label="x", start=0.0)
+    assert not FaultSpec(services=("glance",), **base).attributes(
+        make_report(service="nova"))
+    assert not FaultSpec(statuses=(403,), **base).attributes(
+        make_report(status=500))
+    assert not FaultSpec(op_id="other", **base).attributes(
+        make_report(op_id="tempest-compute-0001"))
+
+
+def test_spec_empty_filters_accept_any():
+    spec = FaultSpec(label="x", start=0.0)
+    assert spec.attributes(make_report(service="cinder", status=503,
+                                       op_id=""))
+
+
+# -- sealing invariant ------------------------------------------------------
+
+def test_seal_rejects_faultless_non_control(small_character):
+    scenario = _Stub(small_character, seed=0)
+    with pytest.raises(ScenarioError):
+        scenario._seal([], MetadataStore(), injected=0, duration=0.0)
+
+
+def test_seal_allows_faultless_control(small_character):
+    scenario = _StubControl(small_character, seed=0)
+    captured = scenario._seal([], MetadataStore(), injected=0,
+                              duration=0.0)
+    assert isinstance(captured, CapturedRun)
+    assert captured.injected == 0
+
+
+def test_seal_copies_inputs(small_character):
+    scenario = _Stub(small_character, seed=0)
+    events = []
+    meta = {"k": "v"}
+    captured = scenario._seal(events, MetadataStore(), injected=2,
+                              duration=1.5, meta=meta)
+    events.append("mutated")
+    meta["k"] = "mutated"
+    assert captured.events == []
+    assert captured.meta == {"k": "v"}
+
+
+# -- deterministic identity -------------------------------------------------
+
+def test_rng_stable_per_scenario_and_seed(small_character):
+    a = _Stub(small_character, seed=3).rng().random()
+    b = _Stub(small_character, seed=3).rng().random()
+    assert a == b
+
+
+def test_rng_differs_across_seeds_and_names(small_character):
+    base = _Stub(small_character, seed=0).rng().random()
+    assert base != _Stub(small_character, seed=1).rng().random()
+    assert base != _StubControl(small_character, seed=0).rng().random()

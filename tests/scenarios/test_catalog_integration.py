@@ -1,0 +1,163 @@
+"""Integration: the shipped catalog passes end to end at the pinned seed.
+
+Runs the full catalog once (serial + 4-shard replays, all oracles),
+then checks the scorecard round-trips through JSON, matches the
+committed ``results/SCENARIOS.json`` baseline, and that the CLI
+surface behaves.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.scenarios import (
+    CauseSpec,
+    Expectation,
+    Localization,
+    build_scorecard,
+    diff_scorecards,
+    dump_scorecard,
+    names,
+    register_for_testing,
+    run_catalog,
+    run_scenario,
+)
+from repro.scenarios.catalog import CorrelatedMultiService
+
+PINNED_SEED = 0
+SHARDS = 4
+SCORECARD_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "results", "SCENARIOS.json",
+)
+
+
+@pytest.fixture(scope="module")
+def catalog_result(full_character):
+    return run_catalog(full_character, seed=PINNED_SEED, shards=SHARDS)
+
+
+@pytest.mark.slow
+def test_full_catalog_passes_serial_and_sharded(catalog_result):
+    assert catalog_result.all_pass
+    assert len(catalog_result.results) == len(names()) >= 9
+    for result in catalog_result.results:
+        serial_fail = [o for o in result.serial_outcomes if not o.ok]
+        sharded_fail = [o for o in result.sharded_outcomes if not o.ok]
+        assert not serial_fail, (result.name, serial_fail)
+        assert not sharded_fail, (result.name, sharded_fail)
+        if result.equivalence is not None:
+            assert result.equivalence.ok, (result.name,
+                                           result.equivalence.detail)
+
+
+@pytest.mark.slow
+def test_per_scenario_precision_recall_reported(catalog_result):
+    for result in catalog_result.results:
+        rendered = result.counts.as_dict()
+        assert set(rendered) >= {"precision", "recall", "f1",
+                                 "instances"}
+        if result.counts.instances:
+            assert rendered["recall"] is not None
+    micro = catalog_result.counts
+    assert micro.precision is not None and micro.precision > 0.9
+    assert micro.recall == 1.0
+
+
+@pytest.mark.slow
+def test_scorecard_round_trips_through_json(catalog_result):
+    document = build_scorecard(catalog_result)
+    reloaded = json.loads(dump_scorecard(document))
+    assert reloaded == document
+    assert reloaded["schema"] == "gretel-scenarios/v1"
+    assert reloaded["seed"] == PINNED_SEED
+    assert reloaded["shards"] == SHARDS
+    scenario_names = [e["name"] for e in reloaded["scenarios"]]
+    assert scenario_names == sorted(scenario_names) == names()
+    assert diff_scorecards(document, reloaded) == []
+
+
+@pytest.mark.slow
+def test_committed_scorecard_has_not_drifted(catalog_result):
+    with open(SCORECARD_PATH, "r", encoding="utf-8") as handle:
+        committed = json.load(handle)
+    fresh = build_scorecard(catalog_result)
+    drift = diff_scorecards(committed, fresh)
+    assert drift == [], "\n".join(drift)
+
+
+def test_detect_disabled_control_grades_without_crashing(full_character):
+    result = run_scenario("noop_control", full_character,
+                          seed=PINNED_SEED, detect=False)
+    assert result.passed
+    assert result.counts.precision is None
+    assert result.counts.recall is None
+    [outcome] = result.serial_outcomes
+    assert outcome.counts["precision"] is None
+
+
+def test_wrong_localization_contract_fails_live(full_character):
+    """End-to-end negative path: grading is not vacuous.
+
+    A clone of the cheapest live scenario claims mysql on the control
+    node died; Algorithm 3 (correctly) finds the disk and ntp faults
+    instead, so the localization oracle must FAIL the run.
+    """
+
+    class WronglyLocalized(CorrelatedMultiService):
+        name = "test_wrongly_localized"
+
+        def expectation(self, captured):
+            real = super().expectation(captured)
+            return Expectation(
+                faults=real.faults,
+                min_precision=real.min_precision,
+                min_recall=real.min_recall,
+                localization=Localization(
+                    causes=(CauseSpec("software", "mysql", "ctrl"),),
+                ),
+            )
+
+    undo = register_for_testing(WronglyLocalized)
+    try:
+        result = run_scenario("test_wrongly_localized", full_character,
+                              seed=PINNED_SEED)
+    finally:
+        undo()
+    assert not result.passed
+    grades = {o.oracle: o for o in result.serial_outcomes}
+    assert grades["localization"].grade == "FAIL"
+    assert "mysql" in grades["localization"].detail
+    # Detection itself still passes: the faults fired and were found.
+    assert grades["detection"].grade == "PASS"
+
+
+# -- CLI surface ------------------------------------------------------------
+
+def test_cli_scenarios_list_json(capsys):
+    from repro.cli import main
+
+    assert main(["scenarios", "list", "--format", "json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert [e["name"] for e in entries] == names()
+    assert all({"family", "description", "is_control"} <= set(e)
+               for e in entries)
+
+
+def test_cli_scenarios_run_json_round_trip(full_character, capsys):
+    from repro.cli import main
+
+    code = main(["scenarios", "run", "--scenario", "noop_control",
+                 "--seed", str(PINNED_SEED), "--format", "json"])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == "gretel-scenarios/v1"
+    assert [e["name"] for e in document["scenarios"]] == ["noop_control"]
+    assert document["all_pass"] is True
+
+
+def test_cli_scenarios_run_rejects_unknown_name(capsys):
+    from repro.cli import main
+
+    assert main(["scenarios", "run", "--scenario", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

@@ -323,3 +323,46 @@ def test_many_processes_complete():
         sim.spawn(worker(index))
     sim.run()
     assert sorted(done) == list(range(100))
+
+
+def test_call_at_fires_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.call_at(2.5, lambda: fired.append(sim.now))
+    sim.call_at(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0, 2.5]
+
+
+def test_call_at_passes_arguments():
+    sim = Simulator()
+    seen = []
+    sim.call_at(0.5, seen.append, "payload")
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_call_at_into_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    with pytest.raises(SimulationError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_call_at_now_is_allowed():
+    sim = Simulator()
+    fired = []
+    sim.call_at(0.0, fired.append, True)
+    sim.run()
+    assert fired == [True]
+
+
+def test_call_at_same_time_fifo_with_schedule():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "schedule")
+    sim.call_at(1.0, order.append, "call_at")
+    sim.run()
+    assert order == ["schedule", "call_at"]

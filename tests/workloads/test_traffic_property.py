@@ -1,0 +1,102 @@
+"""Property tests for the synthetic traffic generator.
+
+Two contracts the scenario catalog leans on:
+
+* **determinism** — identical seed + configuration must produce
+  byte-identical event streams (captures are replayable evidence);
+* **fault accounting** — ``fault_slots`` documents exactly how many
+  fault slots a stream opens, including the silent boundary case
+  ``fault_every > length`` (zero slots, fault-free stream) that
+  non-control scenarios must assert against.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.openstack.apis import ApiKind
+from repro.workloads.traffic import SyntheticStream
+
+
+def _stream(library, **kwargs):
+    defaults = dict(fault_every=50, concurrency=8, rate_pps=10_000.0,
+                    seed=0)
+    defaults.update(kwargs)
+    return SyntheticStream(library, library.symbols, **defaults)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       count=st.integers(min_value=1, max_value=400))
+def test_identical_seed_and_config_byte_identical(small_character,
+                                                  seed, count):
+    library = small_character.library
+    first = _stream(library, seed=seed).events(count)
+    second = _stream(library, seed=seed).events(count)
+    # WireEvent is a frozen dataclass: == compares every field.
+    assert first == second
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_different_seeds_diverge(small_character, seed):
+    library = small_character.library
+    first = _stream(library, seed=seed).events(200)
+    second = _stream(library, seed=seed + 1).events(200)
+    assert first != second
+
+
+@settings(max_examples=20, deadline=None)
+@given(count=st.integers(min_value=1, max_value=600),
+       fault_every=st.integers(min_value=1, max_value=700))
+def test_error_count_bounded_by_fault_slots(small_character, count,
+                                            fault_every):
+    library = small_character.library
+    stream = _stream(library, fault_every=fault_every)
+    events = stream.events(count)
+    errors = sum(1 for e in events if e.error)
+    assert errors <= stream.fault_slots(count)
+    assert stream.fault_slots(count) == count // fault_every
+
+
+def test_fault_every_one_errors_every_rest_event(small_character):
+    library = small_character.library
+    stream = _stream(library, fault_every=1)
+    events = stream.events(300)
+    assert stream.fault_slots(300) == 300
+    rest = [e for e in events if e.kind is ApiKind.REST]
+    assert rest, "stream must contain REST events"
+    # Every slot fires on REST events; RPC events never carry errors.
+    assert all(e.error for e in rest)
+    assert not any(e.error for e in events if e.kind is ApiKind.RPC)
+
+
+def test_fault_every_equal_to_length_opens_one_slot(small_character):
+    library = small_character.library
+    stream = _stream(library, fault_every=250)
+    events = stream.events(250)
+    assert stream.fault_slots(250) == 1
+    # The single slot is the very last event; it fires iff REST.
+    errors = [e for e in events if e.error]
+    assert len(errors) <= 1
+    if errors:
+        assert errors[0] is events[-1]
+
+
+def test_fault_every_beyond_length_is_silently_fault_free(small_character):
+    """Regression: ``fault_every > len`` used to pass silently.
+
+    The stream is legal but fault-free; ``fault_slots`` is the
+    documented way to detect the vacuous configuration (scenario
+    injectors assert on it, see ``repro.scenarios.base._seal``).
+    """
+    library = small_character.library
+    stream = _stream(library, fault_every=1000)
+    events = stream.events(400)
+    assert stream.fault_slots(400) == 0
+    assert not any(e.error for e in events)
+
+
+def test_fault_every_below_one_rejected(small_character):
+    library = small_character.library
+    with pytest.raises(ValueError):
+        _stream(library, fault_every=0)
