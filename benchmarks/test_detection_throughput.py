@@ -21,12 +21,15 @@ committed copy is a full-scale run) and
 EXPERIMENTS.md).
 """
 
-import json
-import os
 import time
 from dataclasses import asdict, replace
 
-from conftest import RESULTS_DIR, full_scale
+from conftest import (
+    assert_no_drift,
+    full_scale,
+    load_committed,
+    save_committed,
+)
 
 from repro.core.analyzer import GretelAnalyzer
 from repro.core.config import GretelConfig
@@ -57,32 +60,17 @@ TARGET_SPEEDUP_VS_COMMITTED = 3.0
 TARGET_SPEEDUP = 2.0
 SMOKE_SPEEDUP = 1.2
 
-#: Drift floor: the achieved speedup must stay within this fraction of
-#: the committed full-scale baseline's (a ratio of ratios, portable
-#: across machines).  Only enforced at full scale.
-BASELINE_DRIFT_FLOOR = 0.9
-
-
-def _committed_json(name):
-    path = os.path.join(RESULTS_DIR, name)
-    try:
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    return payload if payload.get("scale") == "full" else None
-
 
 def _committed_baseline():
     """The committed full-scale baseline payload, or None if absent."""
-    return _committed_json("BENCH_detection.json")
+    return load_committed("BENCH_detection.json")
 
 
 def _committed_serial_detect_seconds():
     """The pre-engine serial detection drain (the PR's "before"): the
     committed full-scale parallel-throughput baseline's serial
     ``detect_seconds``, recorded with the from-scratch scorer."""
-    payload = _committed_json("BENCH_parallel_throughput.json")
+    payload = load_committed("BENCH_parallel_throughput.json")
     if payload is None:
         return None
     return payload.get("serial", {}).get("detect_seconds")
@@ -256,11 +244,7 @@ def test_detection_throughput_baseline(character, save_result):
     # The committed JSON is a full-scale run; the small smoke scale
     # must not clobber it with reduced-stream numbers.
     if full_scale():
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, "BENCH_detection.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        save_committed("BENCH_detection.json", payload)
         save_result("detection_throughput", _render(payload))
     else:
         print()
@@ -290,9 +274,8 @@ def test_detection_throughput_baseline(character, save_result):
         )
     # Drift gate: engine refactors must not erode the advantage.
     if full_scale() and committed is not None:
-        previous = committed["acceptance"]["achieved_speedup_detect"]
-        assert speedup >= BASELINE_DRIFT_FLOOR * previous, (
-            f"detection speedup {speedup:.2f}x drifted more than "
-            f"{(1 - BASELINE_DRIFT_FLOOR) * 100:.0f}% below the "
-            f"committed baseline's {previous:.2f}x"
+        assert_no_drift(
+            "detection speedup",
+            speedup,
+            committed["acceptance"]["achieved_speedup_detect"],
         )

@@ -28,11 +28,14 @@ Artifacts: ``results/BENCH_index.json`` (committed copy is a
 full-scale run) and ``results/index_selection.txt``.
 """
 
-import json
-import os
 import time
 
-from conftest import RESULTS_DIR, full_scale
+from conftest import (
+    assert_no_drift,
+    full_scale,
+    load_committed,
+    save_committed,
+)
 from synthlib import sample_api_keys, synthetic_library
 
 from repro.analysis.compile import compile_library, verify_selection
@@ -52,19 +55,10 @@ REPEATS = 3         # timing is best-of-N; fresh detector each run
 TARGET_SPEEDUP = 10.0
 SMOKE_SPEEDUP = 2.0
 
-#: Drift floor: achieved speedup must stay within this fraction of the
-#: committed full-scale baseline's.  Only enforced at full scale.
-BASELINE_DRIFT_FLOOR = 0.9
-
 
 def _committed_baseline():
-    path = os.path.join(RESULTS_DIR, "BENCH_index.json")
-    try:
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    return payload if payload.get("scale") == "full" else None
+    """The committed full-scale baseline payload, or None if absent."""
+    return load_committed("BENCH_index.json")
 
 
 def _config(indexed):
@@ -192,11 +186,7 @@ def test_index_selection_micro(save_result):
     # The committed JSON is a full-scale run; the small smoke scale
     # must not clobber it with reduced-library numbers.
     if full_scale():
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, "BENCH_index.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        save_committed("BENCH_index.json", payload)
         save_result("index_selection", _render(payload))
     else:
         print()
@@ -212,9 +202,8 @@ def test_index_selection_micro(save_result):
     )
     # Drift gate: compiler/hydration refactors must not erode it.
     if full_scale() and committed is not None:
-        previous = committed["acceptance"]["achieved_speedup"]
-        assert speedup >= BASELINE_DRIFT_FLOOR * previous, (
-            f"selection speedup {speedup:.2f}x drifted more than "
-            f"{(1 - BASELINE_DRIFT_FLOOR) * 100:.0f}% below the "
-            f"committed baseline's {previous:.2f}x"
+        assert_no_drift(
+            "selection speedup",
+            speedup,
+            committed["acceptance"]["achieved_speedup"],
         )

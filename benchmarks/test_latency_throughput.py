@@ -26,12 +26,15 @@ committed copy is a full-scale run) and
 EXPERIMENTS.md).
 """
 
-import json
-import os
 import random
 import time
 
-from conftest import RESULTS_DIR, full_scale
+from conftest import (
+    assert_no_drift,
+    full_scale,
+    load_committed,
+    save_committed,
+)
 
 from repro.core.analyzer import GretelAnalyzer
 from repro.core.config import GretelConfig
@@ -63,21 +66,10 @@ SMOKE_MICRO_SPEEDUP = 1.5
 #: LS path is one stage of the receiver loop, so the bar is modest.
 TARGET_INGEST_SPEEDUP = 1.05
 
-#: Drift floor: the achieved micro speedup must stay within this
-#: fraction of the committed full-scale baseline's (a ratio of ratios,
-#: portable across machines).  Only enforced at full scale.
-BASELINE_DRIFT_FLOOR = 0.9
-
 
 def _committed_baseline():
     """The committed full-scale baseline payload, or None if absent."""
-    path = os.path.join(RESULTS_DIR, "BENCH_latency.json")
-    try:
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    return payload if payload.get("scale") == "full" else None
+    return load_committed("BENCH_latency.json")
 
 
 def _config(incremental):
@@ -304,11 +296,7 @@ def test_latency_throughput_baseline(character, save_result):
     # The committed JSON is a full-scale run; the small smoke scale
     # must not clobber it with reduced-stream numbers.
     if full_scale():
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, "BENCH_latency.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        save_committed("BENCH_latency.json", payload)
         save_result("latency_throughput", _render(payload))
     else:
         print()
@@ -338,11 +326,10 @@ def test_latency_throughput_baseline(character, save_result):
         )
     # Drift gate: refactors must not erode the engine's advantage.
     if full_scale() and committed is not None:
-        previous = committed["acceptance"]["achieved_micro_speedup"]
-        assert micro_speedup >= BASELINE_DRIFT_FLOOR * previous, (
-            f"LS micro speedup {micro_speedup:.2f}x drifted more than "
-            f"{(1 - BASELINE_DRIFT_FLOOR) * 100:.0f}% below the "
-            f"committed baseline's {previous:.2f}x"
+        assert_no_drift(
+            "LS micro speedup",
+            micro_speedup,
+            committed["acceptance"]["achieved_micro_speedup"],
         )
 
 

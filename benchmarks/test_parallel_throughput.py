@@ -20,11 +20,14 @@ readable; the committed copy is a full-scale run) and
 EXPERIMENTS.md).
 """
 
-import json
-import os
 import time
 
-from conftest import RESULTS_DIR, full_scale
+from conftest import (
+    assert_no_drift,
+    full_scale,
+    load_committed,
+    save_committed,
+)
 
 from repro.core.analyzer import GretelAnalyzer
 from repro.core.config import GretelConfig
@@ -44,22 +47,10 @@ REPEATS = 3          # timing is best-of-N; fresh analyzer each run
 TARGET_SPEEDUP_AT_4 = 1.5
 SMOKE_SPEEDUP_AT_4 = 1.1
 
-#: Baseline-drift floor: the achieved 4-shard speedup must stay within
-#: this fraction of the committed full-scale baseline's (a ratio of
-#: ratios, so it ports across machines better than absolute events/s).
-#: Only enforced at full scale, where the stream matches the baseline.
-BASELINE_DRIFT_FLOOR = 0.9
-
 
 def _committed_baseline():
     """The committed full-scale baseline payload, or None if absent."""
-    path = os.path.join(RESULTS_DIR, "BENCH_parallel_throughput.json")
-    try:
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    return payload if payload.get("scale") == "full" else None
+    return load_committed("BENCH_parallel_throughput.json")
 
 
 def _config():
@@ -210,11 +201,7 @@ def test_parallel_throughput_baseline(character, save_result):
     # The committed JSON is a full-scale run; the small smoke scale
     # must not clobber it with reduced-stream numbers.
     if full_scale():
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, "BENCH_parallel_throughput.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        save_committed("BENCH_parallel_throughput.json", payload)
         save_result("parallel_throughput", _render(payload))
     else:
         print()
@@ -236,11 +223,10 @@ def test_parallel_throughput_baseline(character, save_result):
     # Drift gate against the committed baseline: refactors of the
     # analyzer internals must not erode the sharded advantage.
     if full_scale() and committed is not None:
-        reference = committed["acceptance"][
-            "achieved_speedup_ingest_at_4_shards"
-        ]
-        assert at4 >= BASELINE_DRIFT_FLOOR * reference, (
-            f"4-shard ingest speedup {at4:.2f}x drifted more than "
-            f"{(1 - BASELINE_DRIFT_FLOOR) * 100:.0f}% below the "
-            f"committed baseline's {reference:.2f}x"
+        assert_no_drift(
+            "4-shard ingest speedup",
+            at4,
+            committed["acceptance"][
+                "achieved_speedup_ingest_at_4_shards"
+            ],
         )

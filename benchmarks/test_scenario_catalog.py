@@ -28,6 +28,9 @@ def test_scenario_catalog_scorecard(character, save_result):
     document = build_scorecard(result)
     save_result("scenario_catalog", render_scorecard(document))
     assert result.all_pass
+    # ``repro scenarios run`` returns exactly this predicate as its
+    # exit code (0 pass / 1 fail — the CLI exit-code contract).
+    assert result.exit_code == 0
     # Catalog-wide micro-averaged detection quality (Fig. 5-7 shape):
     # every injected fault instance is recalled, and report precision
     # stays high even with the level-shift detector's warm-up noise.

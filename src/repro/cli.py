@@ -21,16 +21,28 @@ Commands
     (see ``docs/indexing.md``).
 ``analyze``
     Replay a synthetic wire-event stream through the sharded online
-    analyzer and print throughput; ``--verify-shards`` also replays it
+    analyzer and print throughput (``--format json`` emits reports +
+    stage stats machine-readably); ``--verify-shards`` also replays it
     serially and asserts identical report sets, and
     ``--verify-selection`` proves indexed candidate selection
     equivalent to the full scan (differential oracles; see
     ``docs/parallelism.md`` and ``docs/indexing.md``).
+``serve``
+    Replay a synthetic stream through the multi-tenant streaming
+    service layer: per-tenant analyzer sessions with bounded queues
+    and backpressure, periodic durable checkpoints (``--resume``
+    continues from them), and the checkpoint/kill/restore
+    differential oracle via ``--verify-checkpoint`` (see
+    ``docs/service.md``).
 ``scenarios list`` / ``scenarios run``
     Enumerate the fault-injection scenario catalog, or run it (or a
     subset) with graded oracles against both the serial and the
     sharded pipeline; ``--check`` diffs the scorecard against a
     committed baseline (see ``docs/scenarios.md``).
+
+Exit codes follow one contract everywhere: ``EXIT_OK`` (0) success /
+all oracles pass, ``EXIT_FAIL`` (1) a graded check failed or drifted,
+``EXIT_USAGE`` (2) unusable input (unknown name, unreadable file).
 """
 
 from __future__ import annotations
@@ -40,6 +52,13 @@ import sys
 from typing import List, Optional
 
 from repro.evaluation import case_studies
+
+#: The CLI-wide exit-code contract (documented in the module
+#: docstring and docs/scenarios.md): every subcommand returns one of
+#: these three values.
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -53,7 +72,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     print(table1.format_report(character.table1_rows()))
     print(f"\nlargest fingerprint (FP_max): {character.fp_max} APIs")
     print(f"failed tests during characterization: {len(character.failed_tests)}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -70,7 +89,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     print(f"{len(by_template)} operation templates; the 5 most used:")
     for name, count in by_template.most_common(5):
         print(f"  {name:35s} {count}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -86,7 +105,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     else:
         print(f"unknown scenario {args.scenario!r}; choose from: "
               f"{', '.join(scenarios)} or 'all'", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     character = default_characterization()
     failures = 0
@@ -96,7 +115,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         for report in result.reports[:3]:
             print(f"    {report.summary()}")
         failures += 0 if result.diagnosis_correct else 1
-    return 1 if failures else 0
+    return EXIT_FAIL if failures else EXIT_OK
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -132,8 +151,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print(hansel_comparison.format_report(hansel_comparison.run(character)))
     else:
         print(f"unknown experiment {name!r}", file=sys.stderr)
-        return 2
-    return 0
+        return EXIT_USAGE
+    return EXIT_OK
 
 
 def _resolve_library(args: argparse.Namespace):
@@ -207,18 +226,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 f"unknown lint pass(es): {', '.join(unknown)}; choose from: "
                 f"{', '.join(PASSES)}", file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
 
     resolved = _resolve_library(args)
     if resolved is None:
-        return 2
+        return EXIT_USAGE
     library, symbols, catalog, groups = resolved
 
     compiled_index = None
     if args.index:
         compiled_index = _load_index(args.index)
         if compiled_index is None:
-            return 2
+            return EXIT_USAGE
 
     ctx = LintContext(
         library=library, symbols=symbols, catalog=catalog,
@@ -241,7 +260,7 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
 
     resolved = _resolve_library(args)
     if resolved is None:
-        return 2
+        return EXIT_USAGE
     library, symbols, _catalog, _groups = resolved
     index = compile_library(library, symbols, GretelConfig())
     payload = index.to_json() + "\n"
@@ -257,13 +276,13 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         )
     else:
         sys.stdout.write(payload)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_index_inspect(args: argparse.Namespace) -> int:
     index = _load_index(args.artifact)
     if index is None:
-        return 2
+        return EXIT_USAGE
     flags = index.flags
     print(f"format version: {index.format_version}")
     print(f"library sha256: {index.library_hash}")
@@ -289,10 +308,10 @@ def _cmd_index_inspect(args: argparse.Namespace) -> int:
         print(f"  U+{ord(symbol):04X}: {len(postings[symbol])} operations")
 
     if not args.check:
-        return 0
+        return EXIT_OK
     resolved = _resolve_library(args)
     if resolved is None:
-        return 2
+        return EXIT_USAGE
     library, symbols, _catalog, _groups = resolved
     problems = index.verify_against(library, symbols)
     if not problems:
@@ -304,13 +323,15 @@ def _cmd_index_inspect(args: argparse.Namespace) -> int:
         print("DRIFT:")
         for problem in problems:
             print(f"  {problem}")
-        return 1
+        return EXIT_FAIL
     print("fresh: artifact matches the live library and symbol table")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
     import time
+    from dataclasses import asdict
 
     from repro.core.config import GretelConfig
     from repro.core.parallel import verify_equivalence
@@ -319,6 +340,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.monitoring.store import MetadataStore
     from repro.workloads.traffic import SyntheticStream
 
+    text_mode = args.format == "text"
     character = default_characterization(
         seed=args.seed, use_disk_cache=not args.no_cache,
     )
@@ -354,17 +376,42 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     detect_seconds = time.perf_counter() - started
 
     count = len(events)
-    print(f"{args.shards}-shard analyzer over {count} events "
-          f"(1 fault per {args.fault_every}, batch {args.batch_size}):")
-    print(f"  ingest    {count / ingest_seconds:12,.0f} events/s "
-          f"({ingest_seconds:.3f}s)")
-    print(f"  effective {count / (ingest_seconds + detect_seconds):12,.0f} "
-          f"events/s (+{detect_seconds:.3f}s detection, "
-          f"{snapshots} snapshots)")
-    print(f"  reports: {len(analyzer.operational_reports)} operational, "
-          f"{len(analyzer.performance_reports)} performance")
-
+    document = {
+        "events": count,
+        "shards": args.shards,
+        "batch_size": args.batch_size,
+        "fault_every": args.fault_every,
+        "alpha": args.alpha,
+        "ingest_seconds": round(ingest_seconds, 6),
+        "detect_seconds": round(detect_seconds, 6),
+        "ingest_events_per_s": round(count / ingest_seconds, 1),
+        "effective_events_per_s": round(
+            count / (ingest_seconds + detect_seconds), 1
+        ),
+        "deferred_snapshots": snapshots,
+        "reports": [r.to_dict() for r in analyzer.reports],
+        "stats": asdict(analyzer.stats()),
+    }
     if timer is not None and counters is not None:
+        document["stage_seconds"] = {
+            stage: round(seconds, 6)
+            for stage, seconds in sorted(timer.seconds.items())
+        }
+        document["stage_items"] = dict(sorted(counters.items.items()))
+
+    if text_mode:
+        print(f"{args.shards}-shard analyzer over {count} events "
+              f"(1 fault per {args.fault_every}, batch {args.batch_size}):")
+        print(f"  ingest    {count / ingest_seconds:12,.0f} events/s "
+              f"({ingest_seconds:.3f}s)")
+        print(f"  effective "
+              f"{count / (ingest_seconds + detect_seconds):12,.0f} "
+              f"events/s (+{detect_seconds:.3f}s detection, "
+              f"{snapshots} snapshots)")
+        print(f"  reports: {len(analyzer.operational_reports)} operational, "
+              f"{len(analyzer.performance_reports)} performance")
+
+    if text_mode and timer is not None and counters is not None:
         print("  per-stage wall clock (all shards, sorted by cost):")
         for line in timer.summary().splitlines():
             print(f"    {line}")
@@ -383,15 +430,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
               f"ls_samples_fed={stats.ls_samples_fed}, "
               f"ls_threshold_recomputes={stats.ls_threshold_recomputes}")
 
+    code = EXIT_OK
     if args.verify_shards:
         result = verify_equivalence(
             events, library, args.shards, batch_size=args.batch_size,
             config=config, track_latency=not args.no_latency,
             defer_detection=True, strict=False,
         )
-        print(result.summary())
+        document["verify_shards"] = {
+            "ok": result.ok, "summary": result.summary(),
+        }
+        if text_mode:
+            print(result.summary())
         if not result.ok:
-            return 1
+            code = EXIT_FAIL
 
     if args.verify_selection:
         from dataclasses import replace
@@ -415,9 +467,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         selection = verify_selection(
             library, config=config, snapshots=snapshots, strict=False,
         )
-        print(selection.summary())
+        document["verify_selection"] = {
+            "ok": selection.ok, "summary": selection.summary(),
+        }
+        if text_mode:
+            print(selection.summary())
         if not selection.ok:
-            return 1
+            code = EXIT_FAIL
 
         # End-to-end: full replays with indexed selection on vs off
         # must publish bit-identical report sets, serially and sharded.
@@ -443,19 +499,158 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             return sorted(report_signature(r) for r in engine.reports)
 
         ok = True
+        replays = {}
         for label, sharded in (
             ("serial", False), (f"{args.shards}-shard", True),
         ):
             indexed_on = replay(True, sharded)
             indexed_off = replay(False, sharded)
             verdict = "EQUIVALENT" if indexed_on == indexed_off else "DIVERGED"
-            print(f"{verdict}: {label} reports with indexed_selection "
-                  f"on vs off ({len(indexed_on)} vs {len(indexed_off)} "
-                  "reports)")
+            replays[label] = {
+                "equivalent": indexed_on == indexed_off,
+                "indexed_reports": len(indexed_on),
+                "scan_reports": len(indexed_off),
+            }
+            if text_mode:
+                print(f"{verdict}: {label} reports with indexed_selection "
+                      f"on vs off ({len(indexed_on)} vs {len(indexed_off)} "
+                      "reports)")
             ok = ok and indexed_on == indexed_off
+        document["verify_selection"]["replays"] = replays
         if not ok:
-            return 1
-    return 0
+            code = EXIT_FAIL
+
+    document["exit_code"] = code
+    payload = json.dumps(document, indent=2) + "\n"
+    if not text_mode:
+        sys.stdout.write(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    return code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.core.config import GretelConfig
+    from repro.evaluation.common import default_characterization
+    from repro.service import (
+        CheckpointStore,
+        StreamingService,
+        verify_checkpoint,
+    )
+    from repro.workloads.traffic import SyntheticStream
+
+    text_mode = args.format == "text"
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return EXIT_USAGE
+
+    character = default_characterization(
+        seed=args.seed, use_disk_cache=not args.no_cache,
+    )
+    library = character.library
+    stream = SyntheticStream(
+        library, library.symbols,
+        fault_every=args.fault_every, seed=args.seed,
+    )
+    events = stream.events(args.events)
+    config = GretelConfig(alpha=args.alpha)
+
+    store = None
+    if args.checkpoint_dir:
+        store = CheckpointStore(args.checkpoint_dir)
+    service = StreamingService(
+        library,
+        config=config,
+        track_latency=not args.no_latency,
+        queue_capacity=args.queue_size,
+        policy=args.policy,
+        checkpoint_store=store,
+        checkpoint_every=args.checkpoint_every,
+        restore=args.resume,
+    )
+    published = []
+    service.on_report(
+        lambda tenant, report: published.append((tenant, report))
+    )
+    if args.resume:
+        # Resurrect every checkpointed tenant up front, so sessions
+        # whose tenants never reappear still finish their pending
+        # analysis at the final flush.
+        service.restore_all()
+
+    def bucket(tenant: str) -> str:
+        # Re-key the synthetic stream's 64 tenants into the requested
+        # number of sessions (deterministic, id-stable).
+        raw = tenant.rsplit("-", 1)[-1]
+        index = int(raw) if raw.isdigit() else 0
+        return f"tenant-{index % args.tenants}"
+
+    started = time.perf_counter()
+    for _ in range(args.passes):
+        for event in events:
+            service.submit(event, tenant=bucket(event.tenant))
+    service.drain()
+    elapsed = time.perf_counter() - started
+    if store is not None:
+        service.checkpoint_all()
+    service.flush()
+
+    count = len(events) * args.passes
+    stats = service.stats()
+    document = {
+        "events": count,
+        "passes": args.passes,
+        "tenants": args.tenants,
+        "alpha": args.alpha,
+        "queue_size": args.queue_size,
+        "policy": args.policy,
+        "seconds": round(elapsed, 6),
+        "events_per_s": round(count / elapsed, 1),
+        "service": stats.to_dict(),
+        "reports": [
+            dict(report.to_dict(), tenant=tenant)
+            for tenant, report in published
+        ],
+    }
+    if text_mode:
+        print(f"streaming service over {count} events "
+              f"({args.passes} pass(es), {args.tenants} tenant "
+              f"session(s), policy {args.policy}):")
+        print(f"  drained   {count / elapsed:12,.0f} events/s "
+              f"({elapsed:.3f}s)")
+        for key, value in stats.to_dict().items():
+            print(f"  {key:20s} {value}")
+        for tenant, report in published:
+            print(f"  [{tenant}] {report.summary()}")
+
+    code = EXIT_OK
+    if args.verify_checkpoint:
+        result = verify_checkpoint(
+            events, library, cuts=args.cuts, config=config,
+            track_latency=not args.no_latency, strict=False,
+        )
+        document["verify_checkpoint"] = result.to_dict()
+        if text_mode:
+            print(result.summary())
+        if not result.ok:
+            code = EXIT_FAIL
+
+    document["exit_code"] = code
+    payload = json.dumps(document, indent=2) + "\n"
+    if not text_mode:
+        sys.stdout.write(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    return code
 
 
 def _cmd_scenarios_list(args: argparse.Namespace) -> int:
@@ -475,12 +670,12 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
             for cls in all_scenarios()
         ]
         print(json.dumps(entries, indent=2))
-        return 0
+        return EXIT_OK
     for cls in all_scenarios():
         control = " [control]" if cls.is_control else ""
         print(f"{cls.name:<26} {cls.family:<13}{control}")
         print(f"    {cls.description}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
@@ -502,7 +697,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         if unknown:
             print(f"unknown scenario(s): {', '.join(unknown)}; "
                   f"choose from: {', '.join(names())}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
 
     character = default_characterization(use_disk_cache=not args.no_cache)
     result = run_catalog(
@@ -526,16 +721,16 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as error:
             print(f"cannot read baseline {args.check!r}: {error}",
                   file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         drift = diff_scorecards(committed, document)
         if drift:
             print("DRIFT against committed scorecard:", file=sys.stderr)
             for line in drift:
                 print(f"  {line}", file=sys.stderr)
-            return 1
+            return EXIT_FAIL
         print("scorecard matches the committed baseline", file=sys.stderr)
 
-    return 0 if result.all_pass else 1
+    return result.exit_code
 
 
 EXPERIMENTS = ("table1", "fig5", "fig6", "fig7a", "fig7b", "fig7c",
@@ -702,9 +897,92 @@ def build_parser() -> argparse.ArgumentParser:
              "on vs off and assert bit-identical report sets "
              "(differential oracle; exit 1 on divergence)",
     )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json emits the run (reports, pipeline stats, oracle "
+             "verdicts) as one machine-readable document",
+    )
+    analyze.add_argument(
+        "--out", "-o", metavar="FILE",
+        help="also write the JSON document here (any --format)",
+    )
     analyze.add_argument("--seed", type=int, default=0)
     analyze.add_argument("--no-cache", action="store_true")
     analyze.set_defaults(handler=_cmd_analyze)
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a synthetic stream through the multi-tenant "
+             "streaming service layer (docs/service.md)",
+    )
+    serve.add_argument(
+        "--events", type=int, default=60_000,
+        help="stream length in wire events (default: the Fig. 8c 60K)",
+    )
+    serve.add_argument(
+        "--passes", type=int, default=1,
+        help="replay the stream this many times (soak; default 1)",
+    )
+    serve.add_argument(
+        "--fault-every", type=int, default=1000,
+        help="one REST fault per this many events (default 1000)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4,
+        help="re-key the stream into this many tenant sessions "
+             "(default 4)",
+    )
+    serve.add_argument(
+        "--alpha", type=int, default=768,
+        help="sliding-window size α (default: the paper's 768)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=4096,
+        help="per-session ingest queue capacity (default 4096)",
+    )
+    serve.add_argument(
+        "--policy", choices=("block", "shed"), default="block",
+        help="backpressure when a session queue is full: block drains "
+             "synchronously, shed drops and counts (default block)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist per-tenant checkpoints under this directory",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="checkpoint a session every N accepted events "
+             "(0 = only at shutdown; requires --checkpoint-dir)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="restore sessions from existing checkpoints in "
+             "--checkpoint-dir before replaying",
+    )
+    serve.add_argument(
+        "--no-latency", action="store_true",
+        help="disable per-API latency tracking (pure operational path)",
+    )
+    serve.add_argument(
+        "--verify-checkpoint", action="store_true",
+        help="also run the checkpoint/kill/restore differential "
+             "oracle on this stream (exit 1 on divergence)",
+    )
+    serve.add_argument(
+        "--cuts", type=int, default=3,
+        help="checkpoint/kill/restore points for --verify-checkpoint "
+             "(default 3)",
+    )
+    serve.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    serve.add_argument(
+        "--out", "-o", metavar="FILE",
+        help="also write the JSON document here (any --format)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--no-cache", action="store_true")
+    serve.set_defaults(handler=_cmd_serve)
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -765,7 +1043,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stdout.close()
         except Exception:  # noqa: BLE001 - best-effort close
             pass
-        return 0
+        return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

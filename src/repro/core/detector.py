@@ -42,6 +42,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -57,8 +58,14 @@ from repro.openstack.catalog import ApiCatalog
 from repro.openstack.wire import WireEvent
 from repro.core.config import GretelConfig
 from repro.core.fingerprint import Fingerprint, FingerprintLibrary, prefix_lcs_lengths
-from repro.core.matching.engine import MatchingEngine, MatchSession, select_cut
+from repro.core.matching.engine import (
+    MatchingEngine,
+    MatchingStats,
+    MatchSession,
+    select_cut,
+)
 from repro.core.precision import theta
+from repro.core.state import require_state
 from repro.core.symbols import SymbolTable
 from repro.core.window import Snapshot
 
@@ -332,6 +339,46 @@ class OperationDetector:
     def matching_stats(self):
         """Counters of the incremental engine (all sessions so far)."""
         return self.matching.stats
+
+    # -- state lifecycle (see repro.core.state) -------------------------
+
+    STATE_FMT = "operation-detector/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the detector.
+
+        The prepared-candidate caches themselves are derived purely
+        from the library and config, so only their *keys* travel: the
+        restore path re-prepares each selection, then overwrites the
+        counters with the serialized values — otherwise the first
+        post-restore detection would re-scan postings the original run
+        had already paid for, and ``postings_scanned`` would diverge
+        from the uninterrupted run.
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "selections": [
+                [api_key, truncate]
+                for api_key, truncate in sorted(self._candidate_cache)
+            ],
+            "detections": self.detections,
+            "postings_scanned": self.postings_scanned,
+            "candidates_indexed": self.candidates_indexed,
+            "matching": self.matching.stats.to_dict(),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh detector over the same library/config."""
+        require_state(state, self.STATE_FMT)
+        self._candidate_cache.clear()
+        self._rest_only_cache.clear()
+        self._fragment_cache.clear()
+        for api_key, truncate in state["selections"]:
+            self.candidates_for(api_key, truncate=truncate)
+        self.detections = state["detections"]
+        self.postings_scanned = state["postings_scanned"]
+        self.candidates_indexed = state["candidates_indexed"]
+        self.matching.stats = MatchingStats.from_dict(state["matching"])
 
     # -- candidate preparation ------------------------------------------------
 

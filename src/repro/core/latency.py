@@ -18,12 +18,16 @@ enter the performance path via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.openstack.wire import WireEvent
 from repro.core.config import GretelConfig
 from repro.core.outliers import LevelShift
-from repro.core.streamstats.detector import LsDetector, detector_from_config
+from repro.core.state import StateFormatError, parse_fmt, require_state
+from repro.core.streamstats.detector import (
+    LsDetector,
+    detector_from_config,
+)
 
 
 @dataclass(frozen=True)
@@ -40,6 +44,27 @@ class PerformanceAnomaly:
     def magnitude(self) -> float:
         """Latency increase over the baseline, seconds."""
         return self.observed - self.baseline
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (checkpoint/restore protocol)."""
+        return {
+            "api_key": self.api_key,
+            "ts": self.ts,
+            "observed": self.observed,
+            "baseline": self.baseline,
+            "event": self.event.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PerformanceAnomaly":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            api_key=data["api_key"],
+            ts=data["ts"],
+            observed=data["observed"],
+            baseline=data["baseline"],
+            event=WireEvent.from_dict(data["event"]),
+        )
 
 
 class LatencyTracker:
@@ -145,3 +170,61 @@ class LatencyTracker:
             detector.threshold_recomputes
             for detector in self._detectors.values()
         )
+
+    def drain_anomalies(self) -> List[PerformanceAnomaly]:
+        """Hand off (and forget) the accumulated anomaly log.
+
+        Listeners already saw every anomaly at emission time; a
+        long-lived service session drains this log after each pump so
+        tracker memory stays bounded by the live detector windows.
+        """
+        drained = self.anomalies
+        self.anomalies = []
+        return drained
+
+    # -- state lifecycle (see repro.core.state) -------------------------
+
+    STATE_FMT = "latency-tracker/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of every series."""
+        return {
+            "fmt": self.STATE_FMT,
+            "samples_fed": self._samples_fed,
+            "detectors": {
+                api_key: detector.snapshot_state()
+                for api_key, detector in sorted(self._detectors.items())
+            },
+            "anomalies": [a.to_dict() for a in self.anomalies],
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh tracker with the same config.
+
+        Each serialized series carries its own fmt tag, which picks
+        the detector implementation — so a checkpoint taken under
+        ``incremental_ls`` restores incremental detectors regardless
+        of this tracker's default, keeping replay bit-identical.
+        """
+        require_state(state, self.STATE_FMT)
+        self._detectors.clear()
+        for api_key, detector_state in state["detectors"].items():
+            layer, _ = parse_fmt(detector_state.get("fmt"))
+            if layer == "ls-incremental":
+                incremental = True
+            elif layer == "ls-reference":
+                incremental = False
+            else:
+                raise StateFormatError(
+                    f"unknown LS detector state fmt for {api_key!r}: "
+                    f"{detector_state.get('fmt')!r}"
+                )
+            detector = detector_from_config(
+                self.config, incremental=incremental
+            )
+            detector.restore_state(detector_state)
+            self._detectors[api_key] = detector
+        self._samples_fed = state["samples_fed"]
+        self.anomalies = [
+            PerformanceAnomaly.from_dict(a) for a in state["anomalies"]
+        ]

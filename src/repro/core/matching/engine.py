@@ -54,8 +54,9 @@ independent of β, and is exact.
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     List,
@@ -68,6 +69,7 @@ from typing import (
 )
 
 from repro.core.matching.index import SnapshotIndex, WindowCounts
+from repro.core.state import StateError, require_state
 
 __all__ = [
     "MatchSession",
@@ -165,6 +167,15 @@ class MatchingStats:
             ),
             rescore_hits=self.rescore_hits + other.rescore_hits,
         )
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serializable rendering (checkpoint/restore protocol)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "MatchingStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
 
 class _AlphabetBlock:
@@ -338,6 +349,50 @@ class MatchSession:
     def counts(self, lo: int, hi: int) -> WindowCounts:
         """Multiplicity view of one window (tests and diagnostics)."""
         return WindowCounts(self._index, lo, hi)
+
+    # -- state lifecycle (see repro.core.state) -------------------------
+
+    STATE_FMT = "match-session/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the session.
+
+        Only the per-candidate memoization — the last scored span and
+        its result — is state; alphabet blocks are pure caches over
+        the snapshot index and are rebuilt lazily on the next score.
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "candidates": len(self._states),
+            "states": [
+                {
+                    "span": (
+                        None if state.last_span is None
+                        else list(state.last_span)
+                    ),
+                    "result": list(state.last_result),
+                }
+                for state in self._states
+            ],
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh session over the same snapshot and
+        candidate list."""
+        require_state(state, self.STATE_FMT)
+        if state["candidates"] != len(self._states):
+            raise StateError(
+                f"session state carries {state['candidates']} "
+                f"candidates, this session has {len(self._states)}"
+            )
+        for live, saved in zip(self._states, state["states"]):
+            span = saved["span"]
+            live.last_span = (
+                None if span is None else (span[0], span[1])
+            )
+            result = saved["result"]
+            live.last_result = (result[0], result[1])
+            live.block = None
 
     def score(
         self,

@@ -25,8 +25,15 @@ alarms, baselines and thresholds against this implementation.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+from repro.core.state import (
+    StateError,
+    decode_ts,
+    encode_ts,
+    require_state,
+)
 
 
 @dataclass(frozen=True)
@@ -39,6 +46,15 @@ class LevelShift:
     magnitude: float        # observed - baseline
     index: int              # sample index at confirmation
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (checkpoint/restore protocol)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LevelShift":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 def _median(values: List[float]) -> float:
     ordered = sorted(values)
@@ -46,6 +62,31 @@ def _median(values: List[float]) -> float:
     if len(ordered) % 2:
         return ordered[mid]
     return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+#: Construction parameters shared by both halves of the LS pair; a
+#: checkpoint taken under one parameterization must not silently
+#: rehydrate a detector tuned differently.
+LS_PARAM_FIELDS = (
+    "window", "sigmas", "min_delta", "rel_delta", "confirm",
+    "warmup", "cooldown",
+)
+
+
+def ls_params(detector: Any) -> Dict[str, Any]:
+    """The LS tuning knobs of either detector implementation."""
+    return {name: getattr(detector, name) for name in LS_PARAM_FIELDS}
+
+
+def check_ls_params(detector: Any, state: Mapping[str, Any]) -> None:
+    """Raise :class:`StateError` on a tuning mismatch."""
+    params = state["params"]
+    for name in LS_PARAM_FIELDS:
+        if params[name] != getattr(detector, name):
+            raise StateError(
+                f"LS state has {name}={params[name]!r}, this detector "
+                f"has {name}={getattr(detector, name)!r}"
+            )
 
 
 class LevelShiftDetector:
@@ -167,6 +208,37 @@ class LevelShiftDetector:
         self._count = 0
         self._cooldown_until = float("-inf")
         self.alarms.clear()
+
+    # -- state lifecycle (see repro.core.state) -------------------------
+
+    STATE_FMT = "ls-reference/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the detector."""
+        return {
+            "fmt": self.STATE_FMT,
+            "params": ls_params(self),
+            "baseline": list(self._baseline),
+            "pending": [list(pair) for pair in self._pending],
+            "count": self._count,
+            "cooldown_until": encode_ts(self._cooldown_until),
+            "alarms": [shift.to_dict() for shift in self.alarms],
+            "threshold_recomputes": self.threshold_recomputes,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh detector with the same tuning."""
+        require_state(state, self.STATE_FMT)
+        check_ls_params(self, state)
+        self._baseline.clear()
+        self._baseline.extend(state["baseline"])
+        self._pending = [(ts, value) for ts, value in state["pending"]]
+        self._count = state["count"]
+        self._cooldown_until = decode_ts(state["cooldown_until"])
+        self.alarms = [
+            LevelShift.from_dict(shift) for shift in state["alarms"]
+        ]
+        self.threshold_recomputes = state["threshold_recomputes"]
 
 
 class StaticThresholdDetector:

@@ -8,7 +8,7 @@ reports, counters, draining — delegates to the pipeline, so engines
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Any, Callable, Dict, List, Mapping
 
 from repro.core.config import GretelConfig
 from repro.core.detector import OperationDetector
@@ -132,3 +132,13 @@ class PipelineAnalyzer:
     def process_deferred(self) -> int:
         """Analyze queued snapshots (the detection 'thread''s backlog)."""
         return self.pipeline.process_deferred()
+
+    # -- state lifecycle (see repro.core.state) ---------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Freeze the analyzer mid-stream (delegates to the pipeline)."""
+        return self.pipeline.snapshot_state()
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a freshly built, identically configured analyzer."""
+        self.pipeline.restore_state(state)

@@ -19,7 +19,17 @@ instrumented; its per-chunk overhead is amortized over ~1024 events.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.config import GretelConfig
 from repro.core.detector import DetectionResult, OperationDetector
@@ -40,6 +50,7 @@ from repro.core.pipeline.stages import (
 )
 from repro.core.reports import FaultReport
 from repro.core.rootcause import RootCauseEngine
+from repro.core.state import StateError, require_state
 from repro.core.symbols import SymbolTable
 from repro.core.window import SlidingWindow, Snapshot
 from repro.monitoring.store import MetadataStore
@@ -147,6 +158,78 @@ class AnalysisPipeline:
             ls_samples_fed=tracker.ls_samples_fed,
             ls_threshold_recomputes=tracker.ls_threshold_recomputes,
         )
+
+    # ------------------------------------------------------------------
+    # State lifecycle (see repro.core.state).
+
+    STATE_FMT = "analysis-pipeline/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Freeze the whole stage graph mid-stream, JSON-serializably.
+
+        Collaborators (library, symbols, catalog, store) are
+        construction-time inputs and are *not* serialized; the config
+        rendering rides along purely as a rehydration guard.
+        ``repro.service.oracle.verify_checkpoint`` proves a restored
+        pipeline finishes the stream bit-identically.
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "config": asdict(self.config),
+            "defer_detection": self.defer_detection,
+            "latency_enabled": self.latency.enabled,
+            "ingest": self.ingest.snapshot_state(),
+            "faults": self.faults.snapshot_state(),
+            "window": self.window.snapshot_state(),
+            "tracker": self.tracker.snapshot_state(),
+            "detector": self.detector.snapshot_state(),
+            "rootcause": self.rootcause.snapshot_state(),
+            "publish": self.publish.snapshot_state(),
+            "perf_context": self.perf_context.snapshot_state(),
+            "deferred": [s.to_dict() for s in self._deferred],
+            "last_perf_analysis": dict(self._last_perf_analysis),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a freshly built, identically configured pipeline.
+
+        Stages are restored *in place* (the hot-path bound methods
+        keep pointing at the same objects); a config, latency-mode or
+        defer-mode mismatch refuses loudly instead of replaying the
+        stream under different semantics.
+        """
+        require_state(state, self.STATE_FMT)
+        if state["config"] != asdict(self.config):
+            raise StateError(
+                "pipeline state was captured under a different config"
+            )
+        if state["defer_detection"] != self.defer_detection:
+            raise StateError(
+                "pipeline state defer_detection="
+                f"{state['defer_detection']} does not match this "
+                f"pipeline's {self.defer_detection}"
+            )
+        if state["latency_enabled"] != self.latency.enabled:
+            raise StateError(
+                f"pipeline state latency_enabled="
+                f"{state['latency_enabled']} does not match this "
+                f"pipeline's {self.latency.enabled}"
+            )
+        self.ingest.restore_state(state["ingest"])
+        self.faults.restore_state(state["faults"])
+        self.window.restore_state(state["window"])
+        self.tracker.restore_state(state["tracker"])
+        self.detector.restore_state(state["detector"])
+        self.rootcause.restore_state(state["rootcause"])
+        self.publish.restore_state(state["publish"])
+        self.perf_context.restore_state(state["perf_context"])
+        self._deferred = [
+            Snapshot.from_dict(s) for s in state["deferred"]
+        ]
+        self._last_perf_analysis = {
+            api_key: ts
+            for api_key, ts in state["last_perf_analysis"].items()
+        }
 
     # ------------------------------------------------------------------
     # Middleware plumbing.

@@ -15,10 +15,13 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, fields
 from typing import (
+    Any,
     Callable,
     Deque,
+    Dict,
     Iterable,
     List,
+    Mapping,
     Optional,
     Protocol,
     Sequence,
@@ -30,6 +33,7 @@ from repro.core.latency import LatencyTracker, PerformanceAnomaly
 from repro.core.opfaults import is_operational_fault
 from repro.core.reports import FaultReport, RootCauseFinding
 from repro.core.rootcause import RootCauseEngine
+from repro.core.state import StateError, require_state
 from repro.core.window import SlidingWindow, Snapshot
 from repro.openstack.apis import ApiKind
 from repro.openstack.wire import WireEvent
@@ -106,6 +110,22 @@ class IngestStage:
         self.events_processed += len(chunk)
         self.bytes_processed += sum(e.size_bytes for e in chunk)
 
+    STATE_FMT = "ingest-stage/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the counters."""
+        return {
+            "fmt": self.STATE_FMT,
+            "events_processed": self.events_processed,
+            "bytes_processed": self.bytes_processed,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh stage."""
+        require_state(state, self.STATE_FMT)
+        self.events_processed = state["events_processed"]
+        self.bytes_processed = state["bytes_processed"]
+
 
 class FaultScanStage:
     """Operational-fault scan (§5.3.1).
@@ -147,6 +167,20 @@ class FaultScanStage:
                 if is_operational_fault(event):
                     self.operational_faults_seen += 1
         return cuts
+
+    STATE_FMT = "fault-scan-stage/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the counter."""
+        return {
+            "fmt": self.STATE_FMT,
+            "operational_faults_seen": self.operational_faults_seen,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh stage."""
+        require_state(state, self.STATE_FMT)
+        self.operational_faults_seen = state["operational_faults_seen"]
 
 
 class WindowStage:
@@ -236,6 +270,24 @@ class RootCauseStage:
     ) -> List[RootCauseFinding]:
         return self.engine.analyze(detection, error_events)
 
+    STATE_FMT = "rootcause-stage/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the counter.
+
+        The engine reads the (construction-time) metadata store; its
+        only mutable state is the analysis counter.
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "analyses": self.engine.analyses,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh stage."""
+        require_state(state, self.STATE_FMT)
+        self.engine.analyses = state["analyses"]
+
 
 class PublishStage:
     """Report sink: the ordered report log plus registered listeners."""
@@ -243,6 +295,10 @@ class PublishStage:
     def __init__(self) -> None:
         self.reports: List[FaultReport] = []
         self.analysis_seconds = 0.0
+        #: Lifetime count, unaffected by :meth:`drain` — the counter a
+        #: long-lived service session reports while keeping the log
+        #: itself bounded.
+        self.reports_published = 0
         self._listeners: List[Callable[[FaultReport], None]] = []
 
     def subscribe(self, callback: Callable[[FaultReport], None]) -> None:
@@ -250,9 +306,43 @@ class PublishStage:
 
     def emit(self, report: FaultReport) -> None:
         self.analysis_seconds += report.analysis_seconds
+        self.reports_published += 1
         self.reports.append(report)
         for callback in self._listeners:
             callback(report)
+
+    def drain(self) -> List[FaultReport]:
+        """Hand off (and forget) the accumulated report log.
+
+        Every report was already delivered to the listeners at emit
+        time; batch consumers read :attr:`reports`, while long-lived
+        sessions drain it after each pump so publish memory stays
+        bounded (``docs/service.md``).
+        """
+        drained = self.reports
+        self.reports = []
+        return drained
+
+    STATE_FMT = "publish-stage/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the counters.
+
+        Deliberately *excludes* the report log: published reports are
+        outputs, not in-flight state (see :mod:`repro.core.state`).
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "analysis_seconds": self.analysis_seconds,
+            "reports_published": self.reports_published,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh stage (report log starts empty)."""
+        require_state(state, self.STATE_FMT)
+        self.analysis_seconds = state["analysis_seconds"]
+        self.reports_published = state["reports_published"]
+        self.reports = []
 
 
 class PerfContext(Protocol):
@@ -268,6 +358,12 @@ class PerfContext(Protocol):
 
     def context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
         """The α (or fewer) events ending at the anomalous one."""
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of held history."""
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a freshly constructed, same-shape context."""
 
 
 class WindowPerfContext:
@@ -285,6 +381,16 @@ class WindowPerfContext:
 
     def context(self, anomaly: PerformanceAnomaly) -> List[WireEvent]:
         return self._window.live_events()
+
+    STATE_FMT = "window-perf-context/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Stateless view over the window — the tag alone suffices."""
+        return {"fmt": self.STATE_FMT}
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Nothing to rehydrate (the window restores itself)."""
+        require_state(state, self.STATE_FMT)
 
 
 class RecentHistoryPerfContext:
@@ -305,3 +411,29 @@ class RecentHistoryPerfContext:
         seq = anomaly.event.seq
         events = [e for e in self._recent if e.seq <= seq]
         return events[-self.alpha:]
+
+    STATE_FMT = "recent-history-perf-context/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the ring."""
+        return {
+            "fmt": self.STATE_FMT,
+            "alpha": self.alpha,
+            "depth": self._recent.maxlen,
+            "events": [event.to_dict() for event in self._recent],
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh ring of the same shape."""
+        require_state(state, self.STATE_FMT)
+        if (state["alpha"] != self.alpha
+                or state["depth"] != self._recent.maxlen):
+            raise StateError(
+                f"perf-context state has alpha={state['alpha']} "
+                f"depth={state['depth']}, this context has "
+                f"alpha={self.alpha} depth={self._recent.maxlen}"
+            )
+        self._recent.clear()
+        self._recent.extend(
+            WireEvent.from_dict(e) for e in state["events"]
+        )

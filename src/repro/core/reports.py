@@ -7,8 +7,8 @@ them out to listeners registered via ``on_report``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.openstack.wire import WireEvent
 from repro.core.detector import DetectionResult
@@ -86,6 +86,26 @@ class FaultReport:
             and (node is None or cause.node == node)
             for cause in self.root_causes
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable rendering (``--format json`` surfaces).
+
+        Carries the operator-actionable content — fault event,
+        matched operations, θ, root causes — not the detection
+        internals (matched fingerprints, context-buffer events).
+        """
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "fault_event": self.fault_event.to_dict(),
+            "operations": list(self.operations),
+            "theta": self.theta,
+            "candidates": self.detection.candidates,
+            "beta_used": self.detection.beta_used,
+            "root_causes": [asdict(c) for c in self.root_causes],
+            "analysis_seconds": self.analysis_seconds,
+            "report_delay": self.report_delay,
+        }
 
     def summary(self) -> str:
         """A one-paragraph operator-facing summary."""

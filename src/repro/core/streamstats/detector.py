@@ -27,10 +27,17 @@ matching`` uses for Algorithm 2 scoring.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.config import GretelConfig
-from repro.core.outliers import LevelShift, LevelShiftDetector, _median
+from repro.core.outliers import (
+    LevelShift,
+    LevelShiftDetector,
+    _median,
+    check_ls_params,
+    ls_params,
+)
+from repro.core.state import decode_ts, encode_ts, require_state
 from repro.core.streamstats.window import SortedWindow
 
 #: Either half of the differential pair; both expose the same surface
@@ -201,6 +208,52 @@ class IncrementalLevelShiftDetector:
         self._cooldown_until = float("-inf")
         self.alarms.clear()
         self._cache_version = -1
+
+    # -- state lifecycle (see repro.core.state) -------------------------
+
+    STATE_FMT = "ls-incremental/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the detector.
+
+        The (median, threshold) cache and its window-version key are
+        part of the state: they must survive a restore or the next
+        threshold read would recompute, inflating
+        :attr:`threshold_recomputes` relative to the uninterrupted
+        run (the checkpoint oracle compares that counter exactly).
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "params": ls_params(self),
+            "baseline": self._baseline.snapshot_state(),
+            "pending": [list(pair) for pair in self._pending],
+            "count": self._count,
+            "cooldown_until": encode_ts(self._cooldown_until),
+            "alarms": [shift.to_dict() for shift in self.alarms],
+            "threshold_recomputes": self.threshold_recomputes,
+            "cache": {
+                "version": self._cache_version,
+                "median": self._cached_median,
+                "threshold": self._cached_threshold,
+            },
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh detector with the same tuning."""
+        require_state(state, self.STATE_FMT)
+        check_ls_params(self, state)
+        self._baseline.restore_state(state["baseline"])
+        self._pending = [(ts, value) for ts, value in state["pending"]]
+        self._count = state["count"]
+        self._cooldown_until = decode_ts(state["cooldown_until"])
+        self.alarms = [
+            LevelShift.from_dict(shift) for shift in state["alarms"]
+        ]
+        self.threshold_recomputes = state["threshold_recomputes"]
+        cache = state["cache"]
+        self._cache_version = cache["version"]
+        self._cached_median = cache["median"]
+        self._cached_threshold = cache["threshold"]
 
 
 def detector_from_config(

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from collections import deque
-from typing import Deque, Iterator, List, Tuple
+from typing import Any, Deque, Dict, Iterator, List, Mapping, Tuple
+
+from repro.core.state import StateError, require_state
 
 
 class SortedWindow:
@@ -185,3 +187,36 @@ class SortedWindow:
         if not ordered:
             raise ValueError("bounds() of an empty window")
         return ordered[0], ordered[-1]
+
+    # -- state lifecycle (see repro.core.state) -------------------------
+
+    STATE_FMT = "sorted-window/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the window.
+
+        Arrival order is the only payload (the sorted view is derived);
+        the :attr:`version` counter is carried so detector caches keyed
+        to it stay valid across a restore.
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "maxlen": self.maxlen,
+            "version": self.version,
+            "values": list(self._arrival),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a fresh window of the same ``maxlen``."""
+        require_state(state, self.STATE_FMT)
+        if state["maxlen"] != self.maxlen:
+            raise StateError(
+                f"sorted-window state has maxlen={state['maxlen']}, "
+                f"this window has maxlen={self.maxlen}"
+            )
+        values = [float(v) for v in state["values"]]
+        self._arrival.clear()
+        self._arrival.extend(values)
+        self._sorted = sorted(values)
+        self.size = len(values)
+        self.version = state["version"]

@@ -28,8 +28,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.core.state import StateError, require_state
 from repro.openstack.wire import WireEvent
 
 #: Signature of a batch symbol encoder: one symbol fragment per event,
@@ -68,6 +79,28 @@ class Snapshot:
         """Whether ``radius`` already spans the whole snapshot."""
         return (self.fault_index - radius <= 0
                 and self.fault_index + radius + 1 >= len(self.events))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (checkpoint/restore protocol)."""
+        return {
+            "fault": self.fault.to_dict(),
+            "events": [event.to_dict() for event in self.events],
+            "fault_index": self.fault_index,
+            "encoded": (
+                None if self.encoded is None else list(self.encoded)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Snapshot":
+        """Inverse of :meth:`to_dict`."""
+        encoded = data["encoded"]
+        return cls(
+            fault=WireEvent.from_dict(data["fault"]),
+            events=[WireEvent.from_dict(e) for e in data["events"]],
+            fault_index=data["fault_index"],
+            encoded=None if encoded is None else list(encoded),
+        )
 
 
 class SlidingWindow:
@@ -189,3 +222,65 @@ class SlidingWindow:
 
     def __len__(self) -> int:
         return len(self._events)
+
+    # -- state lifecycle (see repro.core.state) -------------------------
+
+    STATE_FMT = "sliding-window/v1"
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Versioned, JSON-serializable rendering of the live window.
+
+        Pre-encoded symbol fragments are serialized verbatim (they are
+        PUA code-point strings, JSON-safe) rather than re-derived on
+        restore: the encoder is deterministic, but carrying the exact
+        strings keeps the restore path trivially bit-identical.
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "alpha": self.alpha,
+            "appended": self.appended,
+            "snapshots_taken": self.snapshots_taken,
+            "events": [event.to_dict() for event in self._events],
+            "encoded": (
+                None if self._encoded is None else list(self._encoded)
+            ),
+            "pending": [
+                {
+                    "fault": fault.to_dict(),
+                    "due": due,
+                    "symbol": fault_symbol,
+                }
+                for fault, due, fault_symbol in self._pending
+            ],
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a freshly constructed window of the same α."""
+        require_state(state, self.STATE_FMT)
+        if state["alpha"] != self.alpha:
+            raise StateError(
+                f"window state has alpha={state['alpha']}, "
+                f"this window has alpha={self.alpha}"
+            )
+        events = [WireEvent.from_dict(e) for e in state["events"]]
+        self._events.clear()
+        self._events.extend(events)
+        if self._encoded is not None:
+            self._encoded.clear()
+            if state["encoded"] is not None:
+                self._encoded.extend(state["encoded"])
+            elif events:
+                # State captured by a non-encoding window: re-derive
+                # the fragments with this window's encoder.
+                assert self._encode is not None
+                self._encoded.extend(self._encode(events))
+        self._pending = [
+            (
+                WireEvent.from_dict(entry["fault"]),
+                entry["due"],
+                entry["symbol"],
+            )
+            for entry in state["pending"]
+        ]
+        self.appended = state["appended"]
+        self.snapshots_taken = state["snapshots_taken"]

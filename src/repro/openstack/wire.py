@@ -22,8 +22,8 @@ never reads them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, List, Mapping, Tuple
 
 from repro.openstack.apis import ApiKind
 
@@ -80,6 +80,32 @@ class WireEvent:
             f"[{self.ts_response:10.4f}] {tag} {self.method:6s} "
             f"{self.src_service}->{self.dst_service} {self.name} = {self.status}"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (checkpoint/restore protocol).
+
+        The ``kind`` enum travels by name; the ``conn`` and
+        ``resource_ids`` tuples become lists (JSON has no tuples) and
+        are rebuilt by :meth:`from_dict`.
+        """
+        data: Dict[str, Any] = {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+        }
+        data["kind"] = self.kind.name
+        data["conn"] = list(self.conn)
+        data["resource_ids"] = list(self.resource_ids)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WireEvent":
+        """Inverse of :meth:`to_dict`, bit-identical fields."""
+        payload = dict(data)
+        payload["kind"] = ApiKind[payload["kind"]]
+        conn = payload["conn"]
+        payload["conn"] = (conn[0], conn[1], conn[2], conn[3])
+        payload["resource_ids"] = tuple(payload["resource_ids"])
+        return cls(**payload)
 
 
 class TapBus:

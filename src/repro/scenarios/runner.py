@@ -176,6 +176,17 @@ class ScenarioResult:
             outcomes.append(self.equivalence)
         return all(outcome.ok for outcome in outcomes)
 
+    @property
+    def exit_code(self) -> int:
+        """Process exit code for this scenario alone: 0 pass, 1 fail.
+
+        Part of the CLI exit-code contract (``repro scenarios run``):
+        0 = every graded oracle passed, 1 = any FAIL (or, at the CLI
+        layer, scorecard drift), 2 = usage error.  Usage errors never
+        originate here — the runner only grades.
+        """
+        return 0 if self.passed else 1
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-stable rendering (used by the committed scorecard)."""
         return {
@@ -276,6 +287,16 @@ class CatalogResult:
     def all_pass(self) -> bool:
         """Whether every scenario passed every graded oracle."""
         return all(r.passed for r in self.results)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code for the catalog: 0 all pass, 1 any fail.
+
+        See :attr:`ScenarioResult.exit_code` for the full contract;
+        ``repro scenarios run`` returns exactly this unless a usage
+        error (2) or baseline drift (1) intervenes first.
+        """
+        return 0 if self.all_pass else 1
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-stable rendering (used by the committed scorecard)."""

@@ -1,0 +1,34 @@
+"""The long-running streaming service layer over the batch pipeline.
+
+Everything below :mod:`repro.core` analyzes one finite capture and is
+discarded; this package promotes that machinery to a standing service
+(the ROADMAP's "streaming service mode"): per-tenant analyzer
+sessions (:mod:`repro.service.session`) with bounded ingest queues
+and an explicit backpressure policy, durable periodic checkpoints
+(:mod:`repro.service.checkpoint`) built on the core state-lifecycle
+protocol (:mod:`repro.core.state`), a service manager that keys
+sessions by tenant and restores them on start
+(:mod:`repro.service.manager`), and the differential oracle proving
+checkpoint/kill/restore changes nothing
+(:mod:`repro.service.oracle`).  ``repro serve`` drives it all over
+replayed captures; see ``docs/service.md``.
+"""
+
+from repro.service.checkpoint import CheckpointStore
+from repro.service.manager import ServiceStats, StreamingService
+from repro.service.oracle import (
+    CheckpointDivergence,
+    CheckpointResult,
+    verify_checkpoint,
+)
+from repro.service.session import TenantSession
+
+__all__ = [
+    "CheckpointDivergence",
+    "CheckpointResult",
+    "CheckpointStore",
+    "ServiceStats",
+    "StreamingService",
+    "TenantSession",
+    "verify_checkpoint",
+]

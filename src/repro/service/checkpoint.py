@@ -1,0 +1,125 @@
+"""Durable per-tenant checkpoints: JSON files, atomically replaced.
+
+One :class:`CheckpointStore` owns a directory of
+``<tenant>.checkpoint.json`` files.  Each file is a versioned
+envelope around a :class:`~repro.service.session.TenantSession` state
+dict (itself the core state-lifecycle protocol,
+:mod:`repro.core.state`).  Writes go through a temp file +
+``os.replace`` so a crash mid-write leaves the previous checkpoint
+intact — a torn checkpoint would otherwise rehydrate a half-written
+pipeline.
+
+Tenant ids become filenames through a conservative sanitizer (the id
+itself is stored *inside* the envelope and checked on load, so two
+ids colliding after sanitization fail loudly instead of silently
+restoring the wrong tenant).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.core.state import StateError, require_state
+
+#: Filename-safe characters; everything else becomes ``_``.
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+_SUFFIX = ".checkpoint.json"
+
+
+class CheckpointStore:
+    """Per-tenant checkpoint files under one root directory."""
+
+    STATE_FMT = "gretel-checkpoint/v1"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.writes = 0
+        self.loads = 0
+
+    def path_for(self, tenant: str) -> Path:
+        """The checkpoint file backing one tenant."""
+        safe = _UNSAFE.sub("_", tenant) or "_"
+        return self.root / f"{safe}{_SUFFIX}"
+
+    def save(
+        self, tenant: str, state: Mapping[str, Any], *, seq: int
+    ) -> Path:
+        """Atomically persist one tenant's session state.
+
+        ``seq`` is the session's events-ingested watermark, stored in
+        the envelope for observability (``repro serve`` prints it).
+        """
+        path = self.path_for(tenant)
+        envelope = {
+            "fmt": self.STATE_FMT,
+            "tenant": tenant,
+            "seq": seq,
+            "state": dict(state),
+        }
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle, separators=(",", ":"))
+            handle.write("\n")
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    def load(self, tenant: str) -> Optional[Dict[str, Any]]:
+        """The persisted session state for ``tenant``, or ``None``.
+
+        A malformed envelope or a tenant mismatch (two ids collapsing
+        to one sanitized filename) raises :class:`StateError` rather
+        than restoring the wrong stream position.
+        """
+        path = self.path_for(tenant)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise StateError(
+                f"unreadable checkpoint for {tenant!r} at {path}: {exc}"
+            ) from exc
+        require_state(envelope, self.STATE_FMT)
+        if envelope.get("tenant") != tenant:
+            raise StateError(
+                f"checkpoint at {path} belongs to tenant "
+                f"{envelope.get('tenant')!r}, not {tenant!r}"
+            )
+        self.loads += 1
+        state = envelope["state"]
+        if not isinstance(state, dict):
+            raise StateError(
+                f"checkpoint for {tenant!r} carries no state dict"
+            )
+        return state
+
+    def tenants(self) -> List[str]:
+        """Tenant ids with a persisted checkpoint, sorted."""
+        found: List[str] = []
+        for path in self.root.glob(f"*{_SUFFIX}"):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    envelope = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            tenant = envelope.get("tenant")
+            if isinstance(tenant, str):
+                found.append(tenant)
+        return sorted(found)
+
+    def delete(self, tenant: str) -> bool:
+        """Remove one tenant's checkpoint; True if one existed."""
+        path = self.path_for(tenant)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True

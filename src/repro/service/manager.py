@@ -1,0 +1,244 @@
+"""The multi-tenant streaming service: sessions keyed by tenant.
+
+:class:`StreamingService` owns one
+:class:`~repro.service.session.TenantSession` per tenant id, building
+each session's analyzer from one shared
+:class:`~repro.core.pipeline.builder.PipelineBuilder` configuration
+(same library, config, and latency/defer switches for every tenant —
+tenants differ only in their stream, exactly as one GRETEL deployment
+watches many clouds).
+
+Durability is opt-in: hand the service a
+:class:`~repro.service.checkpoint.CheckpointStore` and it (a)
+rehydrates any tenant that has a persisted checkpoint the first time
+that tenant appears (unless built with ``restore=False``; see also
+:meth:`StreamingService.restore_all`), and (b) re-checkpoints a
+session every
+``checkpoint_every`` submitted events (0 disables the periodic
+trigger; explicit :meth:`StreamingService.checkpoint_all` still
+works).  Because a session's state includes its ingest queue, a
+checkpoint never needs to force a drain first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.analyzer import GretelAnalyzer
+from repro.core.config import GretelConfig
+from repro.core.fingerprint import FingerprintLibrary
+from repro.core.pipeline.builder import PipelineBuilder
+from repro.core.symbols import SymbolTable
+from repro.monitoring.store import MetadataStore
+from repro.openstack.catalog import ApiCatalog
+from repro.openstack.wire import WireEvent
+from repro.service.checkpoint import CheckpointStore
+from repro.service.session import ReportSink, TenantSession
+
+#: Tenant bucket used when an event carries no tenant id.
+DEFAULT_TENANT = "default"
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated counters across every live session."""
+
+    tenants: int = 0
+    events_submitted: int = 0
+    events_analyzed: int = 0
+    events_shed: int = 0
+    queued: int = 0
+    reports: int = 0
+    checkpoints_written: int = 0
+    sessions_restored: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class StreamingService:
+    """Per-tenant analyzer sessions behind one submit() front door."""
+
+    def __init__(
+        self,
+        library: FingerprintLibrary,
+        *,
+        symbols: Optional[SymbolTable] = None,
+        catalog: Optional[ApiCatalog] = None,
+        store: Optional[MetadataStore] = None,
+        config: Optional[GretelConfig] = None,
+        track_latency: bool = True,
+        defer_detection: bool = False,
+        queue_capacity: int = 4096,
+        policy: str = "block",
+        report_retention: int = 64,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_every: int = 0,
+        restore: bool = True,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.library = library
+        self._symbols = symbols
+        self._catalog = catalog
+        self._store = store
+        self._config = config
+        self._track_latency = track_latency
+        self._defer_detection = defer_detection
+        self.queue_capacity = queue_capacity
+        self.policy = policy
+        self.report_retention = report_retention
+        self.checkpoints = checkpoint_store
+        self.checkpoint_every = checkpoint_every
+        self.restore_on_start = restore
+        self.sessions: Dict[str, TenantSession] = {}
+        self.events_submitted = 0
+        self.checkpoints_written = 0
+        self.sessions_restored = 0
+        self._since_checkpoint: Dict[str, int] = {}
+        self._sinks: List[ReportSink] = []
+
+    # -- session lifecycle ----------------------------------------------
+
+    def _build_analyzer(self) -> GretelAnalyzer:
+        return (
+            PipelineBuilder(self.library)
+            .with_symbols(self._symbols)
+            .with_catalog(self._catalog)
+            .with_store(self._store)
+            .with_config(self._config)
+            .track_latency(self._track_latency)
+            .defer_detection(self._defer_detection)
+            .build_serial()
+        )
+
+    def session(self, tenant: str) -> TenantSession:
+        """The live session for ``tenant``, created (and restored from
+        its checkpoint, if one is persisted) on first use."""
+        live = self.sessions.get(tenant)
+        if live is not None:
+            return live
+        live = TenantSession(
+            tenant,
+            self._build_analyzer(),
+            queue_capacity=self.queue_capacity,
+            policy=self.policy,
+            report_retention=self.report_retention,
+        )
+        for sink in self._sinks:
+            live.on_report(sink)
+        if self.checkpoints is not None and self.restore_on_start:
+            state = self.checkpoints.load(tenant)
+            if state is not None:
+                live.restore_state(state)
+                self.sessions_restored += 1
+        self.sessions[tenant] = live
+        self._since_checkpoint[tenant] = 0
+        return live
+
+    def on_report(self, sink: ReportSink) -> None:
+        """Register a ``(tenant, report)`` consumer on every session —
+        current and future."""
+        self._sinks.append(sink)
+        for live in self.sessions.values():
+            live.on_report(sink)
+
+    # -- ingest ----------------------------------------------------------
+
+    def submit(
+        self, event: WireEvent, *, tenant: Optional[str] = None
+    ) -> bool:
+        """Route one event to its tenant's session; False iff shed.
+
+        The explicit ``tenant`` overrides the event's own tenant id
+        (replay tools re-bucket streams this way); events with neither
+        land in the ``"default"`` session.
+        """
+        key = tenant or event.tenant or DEFAULT_TENANT
+        live = self.session(key)
+        accepted = live.submit(event)
+        self.events_submitted += 1
+        if accepted and self.checkpoint_every:
+            self._since_checkpoint[key] += 1
+            if self._since_checkpoint[key] >= self.checkpoint_every:
+                self.checkpoint(key)
+        return accepted
+
+    def pump(self, events: Any, *, tenant: Optional[str] = None) -> int:
+        """Submit an iterable of events; returns the accepted count."""
+        accepted = 0
+        for event in events:
+            if self.submit(event, tenant=tenant):
+                accepted += 1
+        return accepted
+
+    # -- durability -------------------------------------------------------
+
+    def checkpoint(self, tenant: str) -> None:
+        """Persist one tenant's session state now."""
+        if self.checkpoints is None:
+            raise ValueError("service has no checkpoint store")
+        live = self.session(tenant)
+        self.checkpoints.save(
+            tenant, live.snapshot_state(), seq=live.events_ingested
+        )
+        self.checkpoints_written += 1
+        self._since_checkpoint[tenant] = 0
+
+    def restore_all(self) -> int:
+        """Resurrect every tenant with a persisted checkpoint now.
+
+        Session restore is otherwise lazy (first ``submit`` for the
+        tenant); a restarting replay calls this up front so tenants
+        that never reappear in the remaining stream still get their
+        pending analysis finished by the final :meth:`flush`.  Returns
+        how many sessions were restored.
+        """
+        if self.checkpoints is None:
+            raise ValueError("service has no checkpoint store")
+        before = self.sessions_restored
+        for tenant in self.checkpoints.tenants():
+            self.session(tenant)
+        return self.sessions_restored - before
+
+    def checkpoint_all(self) -> int:
+        """Persist every live session; returns how many were written."""
+        for tenant in sorted(self.sessions):
+            self.checkpoint(tenant)
+        return len(self.sessions)
+
+    # -- draining ---------------------------------------------------------
+
+    def drain(self) -> int:
+        """Drain every session's queue; returns events analyzed."""
+        return sum(
+            live.drain() for live in self.sessions.values()
+        )
+
+    def flush(self) -> None:
+        """Drain and flush every session (end of replay)."""
+        for live in self.sessions.values():
+            live.flush()
+
+    def close(self) -> None:
+        """Flush everything, then checkpoint if a store is attached."""
+        self.flush()
+        if self.checkpoints is not None:
+            self.checkpoint_all()
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        stats = ServiceStats(
+            tenants=len(self.sessions),
+            events_submitted=self.events_submitted,
+            checkpoints_written=self.checkpoints_written,
+            sessions_restored=self.sessions_restored,
+        )
+        for live in self.sessions.values():
+            stats.events_analyzed += live.events_analyzed
+            stats.events_shed += live.events_shed
+            stats.queued += live.queued
+            stats.reports += live.reports_emitted
+        return stats

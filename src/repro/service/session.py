@@ -1,0 +1,175 @@
+"""One tenant's long-lived analyzer session.
+
+A :class:`TenantSession` wraps a serial
+:class:`~repro.core.analyzer.GretelAnalyzer` with the three things a
+standing service needs that a batch drain does not:
+
+* **a bounded ingest queue** — producers ``submit()`` events into a
+  queue of fixed capacity instead of running the pipeline inline;
+* **an explicit backpressure policy** — when the queue is full,
+  ``"block"`` drains the backlog before accepting (the producer call
+  stalls: synchronous backpressure), while ``"shed"`` drops the event
+  and counts it in :attr:`TenantSession.events_shed`;
+* **bounded retention** — after every drain the pipeline's report log
+  and the latency tracker's anomaly log are handed off, so session
+  memory is bounded by α + queue capacity + the retention ring, not
+  by events ingested (the soak benchmark asserts exactly this).
+
+Reports still reach every registered sink at emit time; the session
+additionally keeps the last ``report_retention`` reports for
+inspection (``repro serve`` prints them).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Mapping
+
+from repro.core.analyzer import GretelAnalyzer
+from repro.core.reports import FaultReport
+from repro.core.state import StateError, require_state
+from repro.openstack.wire import WireEvent
+
+#: Accepted backpressure policies.
+POLICIES = ("block", "shed")
+
+ReportSink = Callable[[str, FaultReport], None]
+
+
+class TenantSession:
+    """Bounded-queue streaming session for one tenant (one cloud)."""
+
+    STATE_FMT = "tenant-session/v1"
+
+    def __init__(
+        self,
+        tenant: str,
+        analyzer: GretelAnalyzer,
+        *,
+        queue_capacity: int = 4096,
+        policy: str = "block",
+        report_retention: int = 64,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r} "
+                f"(expected one of {POLICIES})"
+            )
+        self.tenant = tenant
+        self.analyzer = analyzer
+        self.queue_capacity = queue_capacity
+        self.policy = policy
+        self.queue: Deque[WireEvent] = deque()
+        self.events_ingested = 0
+        self.events_analyzed = 0
+        self.events_shed = 0
+        self.reports_emitted = 0
+        self.recent_reports: Deque[FaultReport] = deque(
+            maxlen=report_retention
+        )
+        self._sinks: List[ReportSink] = []
+        analyzer.on_report(self._on_report)
+
+    # -- report fan-out -------------------------------------------------
+
+    def on_report(self, sink: ReportSink) -> None:
+        """Register a ``(tenant, report)`` consumer."""
+        self._sinks.append(sink)
+
+    def _on_report(self, report: FaultReport) -> None:
+        self.reports_emitted += 1
+        self.recent_reports.append(report)
+        for sink in self._sinks:
+            sink(self.tenant, report)
+
+    # -- ingest ---------------------------------------------------------
+
+    def submit(self, event: WireEvent) -> bool:
+        """Offer one event; returns False iff it was shed.
+
+        With the ``"block"`` policy a full queue drains synchronously
+        before the event is accepted — the producer's call stalls for
+        the duration, which *is* the backpressure.  With ``"shed"``
+        the event is dropped and counted instead.
+        """
+        if len(self.queue) >= self.queue_capacity:
+            if self.policy == "shed":
+                self.events_shed += 1
+                return False
+            self.drain()
+        self.queue.append(event)
+        self.events_ingested += 1
+        return True
+
+    def drain(self) -> int:
+        """Run every queued event through the pipeline; returns the
+        number analyzed.  Retained pipeline logs are handed off so a
+        long-lived session stays bounded."""
+        queue = self.queue
+        if not queue:
+            return 0
+        on_event = self.analyzer.on_event
+        drained = len(queue)
+        while queue:
+            on_event(queue.popleft())
+        self.events_analyzed += drained
+        self._shed_logs()
+        return drained
+
+    def flush(self) -> None:
+        """Drain the queue, then freeze pending pipeline snapshots."""
+        self.drain()
+        self.analyzer.flush()
+        self._shed_logs()
+
+    def _shed_logs(self) -> None:
+        """Hand off pipeline-internal logs (already fanned out)."""
+        self.analyzer.pipeline.publish.drain()
+        self.analyzer.pipeline.tracker.drain_anomalies()
+
+    @property
+    def queued(self) -> int:
+        """Events accepted but not yet analyzed."""
+        return len(self.queue)
+
+    # -- state lifecycle (see repro.core.state) -------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Freeze the session — queue included — JSON-serializably.
+
+        The retention ring is *not* serialized (reports are outputs,
+        not in-flight state); the analyzer state carries everything
+        needed to finish the stream bit-identically.
+        """
+        return {
+            "fmt": self.STATE_FMT,
+            "tenant": self.tenant,
+            "policy": self.policy,
+            "queue_capacity": self.queue_capacity,
+            "queue": [event.to_dict() for event in self.queue],
+            "events_ingested": self.events_ingested,
+            "events_analyzed": self.events_analyzed,
+            "events_shed": self.events_shed,
+            "reports_emitted": self.reports_emitted,
+            "analyzer": self.analyzer.snapshot_state(),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rehydrate a freshly built session for the same tenant."""
+        require_state(state, self.STATE_FMT)
+        if state["tenant"] != self.tenant:
+            raise StateError(
+                f"session state is for tenant {state['tenant']!r}, "
+                f"this session is {self.tenant!r}"
+            )
+        self.analyzer.restore_state(state["analyzer"])
+        self.queue.clear()
+        self.queue.extend(
+            WireEvent.from_dict(e) for e in state["queue"]
+        )
+        self.events_ingested = state["events_ingested"]
+        self.events_analyzed = state["events_analyzed"]
+        self.events_shed = state["events_shed"]
+        self.reports_emitted = state["reports_emitted"]

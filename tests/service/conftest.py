@@ -1,0 +1,24 @@
+"""Shared fixtures for the streaming-service layer tests."""
+
+import pytest
+
+from repro.core.config import GretelConfig
+from repro.workloads.traffic import SyntheticStream
+
+#: Small α keeps snapshots cheap; the service layer's behavior does
+#: not depend on window size.
+CONFIG = GretelConfig(alpha=64)
+
+
+@pytest.fixture(scope="module")
+def library(small_character):
+    return small_character.library
+
+
+@pytest.fixture(scope="module")
+def stream_events(library):
+    """A short faulty stream (every tenant bucket gets some events)."""
+    stream = SyntheticStream(
+        library, library.symbols, fault_every=150, seed=3,
+    )
+    return stream.events(900)

@@ -271,3 +271,125 @@ def test_analyze_stage_stats_report_selection_counters(
     out = capsys.readouterr().out
     assert "candidate selection: postings_scanned=" in out
     assert "candidates_indexed=" in out
+
+
+# ---------------------------------------------------------------------------
+# Exit-code contract (docs: every subcommand returns 0/1/2)
+# ---------------------------------------------------------------------------
+
+def test_exit_code_constants():
+    from repro.cli import EXIT_FAIL, EXIT_OK, EXIT_USAGE
+
+    assert (EXIT_OK, EXIT_FAIL, EXIT_USAGE) == (0, 1, 2)
+
+
+def test_scenarios_run_exit_codes(full_character, capsys):
+    # A passing catalog subset exits 0 through ScenarioResult.exit_code.
+    assert main(["scenarios", "run",
+                 "--scenario", "noop_synthetic_control"]) == 0
+    capsys.readouterr()
+    # Unknown scenario names are usage errors, not failures.
+    assert main(["scenarios", "run", "--scenario", "bogus"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_scenarios_run_unreadable_baseline_is_usage_error(
+    full_character, tmp_path, capsys
+):
+    assert main(["scenarios", "run",
+                 "--scenario", "noop_synthetic_control",
+                 "--check", str(tmp_path / "missing.json")]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# repro analyze --format json
+# ---------------------------------------------------------------------------
+
+def test_analyze_json_document(full_character, capsys):
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--no-latency", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["events"] == 3000
+    assert document["shards"] == 2
+    assert document["exit_code"] == 0
+    assert document["ingest_events_per_s"] > 0
+    assert document["stats"]["events_processed"] == 3000
+    assert len(document["reports"]) == 2
+    for report in document["reports"]:
+        assert report["kind"] == "operational"
+        assert report["operations"]
+        assert 0.0 <= report["theta"] <= 1.0
+
+
+def test_analyze_out_writes_json_even_in_text_mode(
+    full_character, tmp_path, capsys
+):
+    out = tmp_path / "run.json"
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--no-latency", "--out", str(out)]) == 0
+    # stdout stays human-readable; the file carries the document.
+    assert "2-shard analyzer" in capsys.readouterr().out
+    document = json.loads(out.read_text())
+    assert document["events"] == 3000
+    assert document["exit_code"] == 0
+
+
+# ---------------------------------------------------------------------------
+# repro serve
+# ---------------------------------------------------------------------------
+
+def test_serve_usage_errors(capsys):
+    assert main(["serve", "--events", "100",
+                 "--checkpoint-every", "50"]) == 2
+    assert "--checkpoint-dir" in capsys.readouterr().err
+    assert main(["serve", "--events", "100", "--resume"]) == 2
+    assert "--checkpoint-dir" in capsys.readouterr().err
+
+
+def test_serve_json_document(full_character, capsys):
+    assert main(["serve", "--events", "2000", "--tenants", "2",
+                 "--alpha", "64", "--no-latency",
+                 "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["exit_code"] == 0
+    assert document["service"]["tenants"] == 2
+    assert document["service"]["events_analyzed"] == 2000
+    assert document["events_per_s"] > 0
+    assert document["reports"]
+    assert all(r["tenant"].startswith("tenant-")
+               for r in document["reports"])
+
+
+def test_serve_checkpoint_resume_round_trip(
+    full_character, tmp_path, capsys
+):
+    checkpoints = str(tmp_path / "ckpt")
+    assert main(["serve", "--events", "2000", "--tenants", "2",
+                 "--alpha", "64", "--no-latency",
+                 "--checkpoint-dir", checkpoints,
+                 "--checkpoint-every", "500",
+                 "--format", "json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["service"]["checkpoints_written"] > 0
+
+    assert main(["serve", "--events", "2000", "--tenants", "2",
+                 "--alpha", "64", "--no-latency",
+                 "--checkpoint-dir", checkpoints, "--resume",
+                 "--format", "json"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["service"]["sessions_restored"] == 2
+    # The restored watermark carries over: 2000 restored + 2000 new.
+    assert second["service"]["events_analyzed"] == 4000
+
+
+def test_serve_verify_checkpoint_oracle(full_character, capsys):
+    assert main(["serve", "--events", "2000", "--tenants", "2",
+                 "--alpha", "64", "--no-latency",
+                 "--verify-checkpoint", "--cuts", "2",
+                 "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    verdict = document["verify_checkpoint"]
+    assert verdict["ok"] is True
+    assert len(verdict["cuts"]) == 2
+    assert verdict["straight_reports"] == verdict["restored_reports"]
