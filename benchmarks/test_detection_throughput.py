@@ -105,20 +105,24 @@ def _time_detection(library, events, incremental):
     return best
 
 
-def _time_sharded_detection(library, events, shards):
+def _time_sharded_detection(library, events, shards, backend="inline"):
     best = None
     for _ in range(REPEATS):
         analyzer = ShardedAnalyzer(
             library, shards, store=MetadataStore(), config=_config(True),
             track_latency=False, defer_detection=True,
+            backend=backend,
         )
-        analyzer.ingest(events)
-        analyzer.flush()
-        started = time.perf_counter()
-        snapshots = analyzer.process_deferred()
-        detect = time.perf_counter() - started
-        sample = {"detect_seconds": detect, "snapshots": snapshots,
-                  "reports": len(analyzer.reports)}
+        try:
+            analyzer.ingest(events)
+            analyzer.flush()
+            started = time.perf_counter()
+            snapshots = analyzer.process_deferred()
+            detect = time.perf_counter() - started
+            sample = {"detect_seconds": detect, "snapshots": snapshots,
+                      "reports": len(analyzer.reports)}
+        finally:
+            analyzer.close()
         if best is None or detect < best["detect_seconds"]:
             best = sample
     return best
@@ -176,6 +180,13 @@ def _render(payload):
             f"{'':>10s} {'':>9s} "
             f"{'PASS' if sample['equivalent'] else 'FAIL':>8s}"
         )
+    process = payload.get("process")
+    if process is not None:
+        lines.append(
+            f"{'4sh-proc':>12s} {process['detect_seconds']:8.3f}s "
+            f"{'':>10s} {'':>9s} "
+            f"{'PASS' if process['equivalent'] else 'FAIL':>8s}"
+        )
     return "\n".join(lines)
 
 
@@ -211,6 +222,18 @@ def test_detection_throughput_baseline(character, save_result):
         sample.update({"shards": shards, "equivalent": oracle.ok})
         sharded.append(sample)
 
+    # Process-backend column at 4 shards: the same drain on a worker
+    # pool.  Its wall-clock gate lives in test_parallel_process.py;
+    # here it rides along with the cross-backend oracle.
+    process = _time_sharded_detection(library, events, 4,
+                                      backend="process")
+    process_oracle = verify_equivalence(
+        events, library, 4, config=_config(True), track_latency=False,
+        defer_detection=True, strict=False, backend="process",
+    )
+    process.update({"shards": 4, "backend": "process",
+                    "equivalent": process_oracle.ok})
+
     committed = _committed_baseline()
     committed_serial = _committed_serial_detect_seconds()
     speedup_vs_committed = (
@@ -232,6 +255,7 @@ def test_detection_throughput_baseline(character, save_result):
         "equivalent_serial": serial_oracle.ok,
         "oracle_snapshots": serial_oracle.snapshots,
         "sharded": sharded,
+        "process": process,
         "acceptance": {
             "target_speedup_detect": TARGET_SPEEDUP,
             "achieved_speedup_detect": speedup,
@@ -257,6 +281,9 @@ def test_detection_throughput_baseline(character, save_result):
         assert sample["equivalent"], (
             f"sharded run diverged from serial at {sample['shards']} shards"
         )
+    assert process["equivalent"], (
+        "process-backend run diverged from serial at 4 shards"
+    )
     floor = TARGET_SPEEDUP if full_scale() else SMOKE_SPEEDUP
     assert speedup >= floor, (
         f"incremental detection speedup {speedup:.2f}x below the "

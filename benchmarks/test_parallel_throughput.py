@@ -82,26 +82,30 @@ def _time_serial(library, events):
     return best
 
 
-def _time_sharded(library, events, shards):
+def _time_sharded(library, events, shards, backend="inline"):
     best = None
     for _ in range(REPEATS):
         analyzer = ShardedAnalyzer(
             library, shards, store=MetadataStore(), config=_config(),
             track_latency=False, defer_detection=True,
+            backend=backend,
         )
-        started = time.perf_counter()
-        analyzer.ingest(events)
-        analyzer.flush()
-        ingest = time.perf_counter() - started
-        started = time.perf_counter()
-        snapshots = analyzer.process_deferred()
-        detect = time.perf_counter() - started
-        sample = {
-            "ingest_seconds": ingest,
-            "detect_seconds": detect,
-            "snapshots": snapshots,
-            "reports": len(analyzer.reports),
-        }
+        try:
+            started = time.perf_counter()
+            analyzer.ingest(events)
+            analyzer.flush()
+            ingest = time.perf_counter() - started
+            started = time.perf_counter()
+            snapshots = analyzer.process_deferred()
+            detect = time.perf_counter() - started
+            sample = {
+                "ingest_seconds": ingest,
+                "detect_seconds": detect,
+                "snapshots": snapshots,
+                "reports": len(analyzer.reports),
+            }
+        finally:
+            analyzer.close()
         if best is None or ingest < best["ingest_seconds"]:
             best = sample
     return best
@@ -137,6 +141,14 @@ def _render(payload):
             f"{sample['effective_eps']:12.0f}e/s "
             f"{sample['speedup_ingest']:9.2f}x "
             f"{'PASS' if sample['equivalent'] else 'FAIL':>8s}"
+        )
+    process = payload.get("process")
+    if process is not None:
+        lines.append(
+            f"{'4sh-proc':>12s} {process['ingest_eps']:10.0f}e/s "
+            f"{process['effective_eps']:12.0f}e/s "
+            f"{process['speedup_ingest']:9.2f}x "
+            f"{'PASS' if process['equivalent'] else 'FAIL':>8s}"
         )
     lines.append("  ingest throughput (K events/s):")
     bars = [("serial", round(serial["ingest_eps"] / 1000, 1))]
@@ -176,6 +188,30 @@ def test_parallel_throughput_baseline(character, save_result):
         })
         sharded.append(sample)
 
+    # The process-backend column at 4 shards: same stream, each shard
+    # in its own worker process.  The wall-clock gate for this backend
+    # lives in test_parallel_process.py (BENCH_parallel_process.json);
+    # here it rides along for a same-payload comparison plus the
+    # cross-backend oracle.
+    process = _rates(
+        _time_sharded(library, events, 4, backend="process"),
+        event_count,
+    )
+    process_oracle = verify_equivalence(
+        events, library, 4, config=_config(), track_latency=False,
+        defer_detection=True, strict=False, backend="process",
+    )
+    process.update({
+        "shards": 4,
+        "backend": "process",
+        "speedup_ingest": process["ingest_eps"] / serial["ingest_eps"],
+        "speedup_effective":
+            process["effective_eps"] / serial["effective_eps"],
+        "equivalent": process_oracle.ok,
+        "serial_reports": process_oracle.serial_reports,
+        "sharded_reports": process_oracle.sharded_reports,
+    })
+
     # Read the committed baseline *before* a full-scale run overwrites
     # the file, so drift is measured against the last committed run.
     committed = _committed_baseline()
@@ -191,6 +227,7 @@ def test_parallel_throughput_baseline(character, save_result):
         },
         "serial": serial,
         "sharded": sharded,
+        "process": process,
         "acceptance": {
             "target_speedup_ingest_at_4_shards": TARGET_SPEEDUP_AT_4,
             "achieved_speedup_ingest_at_4_shards": next(
@@ -214,6 +251,12 @@ def test_parallel_throughput_baseline(character, save_result):
             f"sharded run diverged from serial at {sample['shards']} shards"
         )
         assert sample["reports"] == serial["reports"]
+    # Same bar for the process backend: the worker pool must be
+    # report-identical to the serial analyzer on this stream.
+    assert process["equivalent"], (
+        "process-backend run diverged from serial at 4 shards"
+    )
+    assert process["reports"] == serial["reports"]
     # Sharded ingest must beat the serial receiver at 4 shards.
     at4 = payload["acceptance"]["achieved_speedup_ingest_at_4_shards"]
     floor = TARGET_SPEEDUP_AT_4 if full_scale() else SMOKE_SPEEDUP_AT_4

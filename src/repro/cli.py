@@ -361,11 +361,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     timer: "StageTimer | None" = None
     counters: "StageCounters | None" = None
-    if args.stage_stats:
+    if args.stage_stats and args.backend == "inline":
+        # Stage middleware observes in-process stage calls; under
+        # backend=process the shards run elsewhere, so --stage-stats
+        # falls back to per-shard worker counters (shard_stats below).
         timer, counters = StageTimer(), StageCounters()
         builder.with_middleware(timer).with_middleware(counters)
     analyzer = builder.build_sharded(
-        args.shards, batch_size=args.batch_size
+        args.shards, batch_size=args.batch_size, backend=args.backend
     )
     started = time.perf_counter()
     analyzer.ingest(events)
@@ -379,6 +382,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     document = {
         "events": count,
         "shards": args.shards,
+        "backend": args.backend,
         "batch_size": args.batch_size,
         "fault_every": args.fault_every,
         "alpha": args.alpha,
@@ -398,9 +402,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             for stage, seconds in sorted(timer.seconds.items())
         }
         document["stage_items"] = dict(sorted(counters.items.items()))
+    if args.stage_stats and args.backend == "process":
+        document["shard_stats"] = [
+            asdict(shard.stats()) for shard in analyzer.shards
+        ]
 
     if text_mode:
-        print(f"{args.shards}-shard analyzer over {count} events "
+        print(f"{args.shards}-shard analyzer ({args.backend} backend) "
+              f"over {count} events "
               f"(1 fault per {args.fault_every}, batch {args.batch_size}):")
         print(f"  ingest    {count / ingest_seconds:12,.0f} events/s "
               f"({ingest_seconds:.3f}s)")
@@ -430,12 +439,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
               f"ls_samples_fed={stats.ls_samples_fed}, "
               f"ls_threshold_recomputes={stats.ls_threshold_recomputes}")
 
+    if text_mode and args.stage_stats and args.backend == "process":
+        merged = analyzer.stats()
+        print("  per-shard worker counters (PipelineStats, merged "
+              "deterministically):")
+        for index, shard_stats in enumerate(document["shard_stats"]):
+            print(f"    shard {index}: "
+                  f"events={shard_stats['events_processed']}, "
+                  f"snapshots={shard_stats['snapshots_taken']}, "
+                  f"faults={shard_stats['operational_faults_seen']}, "
+                  f"analysis={shard_stats['analysis_seconds']:.3f}s")
+        print(f"    merged : events={merged.events_processed}, "
+              f"snapshots={merged.snapshots_taken}, "
+              f"faults={merged.operational_faults_seen}, "
+              f"analysis={merged.analysis_seconds:.3f}s")
+
+    analyzer.close()
+
     code = EXIT_OK
     if args.verify_shards:
         result = verify_equivalence(
             events, library, args.shards, batch_size=args.batch_size,
             config=config, track_latency=not args.no_latency,
             defer_detection=True, strict=False,
+            backend=args.backend,
         )
         document["verify_shards"] = {
             "ok": result.ok, "summary": result.summary(),
@@ -488,7 +515,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
             if sharded:
                 engine = builder.build_sharded(
-                    args.shards, batch_size=args.batch_size
+                    args.shards, batch_size=args.batch_size,
+                    backend=args.backend,
                 )
                 engine.ingest(events)
             else:
@@ -496,7 +524,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 engine.feed(events)
             engine.flush()
             engine.process_deferred()
-            return sorted(report_signature(r) for r in engine.reports)
+            signatures = sorted(
+                report_signature(r) for r in engine.reports
+            )
+            engine.close()
+            return signatures
 
         ok = True
         replays = {}
@@ -575,6 +607,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_store=store,
         checkpoint_every=args.checkpoint_every,
         restore=args.resume,
+        shards=args.session_shards,
+        backend=args.backend,
     )
     published = []
     service.on_report(
@@ -602,6 +636,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if store is not None:
         service.checkpoint_all()
     service.flush()
+    for live in service.sessions.values():
+        live.close()
 
     count = len(events) * args.passes
     stats = service.stats()
@@ -609,6 +645,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "events": count,
         "passes": args.passes,
         "tenants": args.tenants,
+        "session_shards": args.session_shards,
+        "backend": args.backend,
         "alpha": args.alpha,
         "queue_size": args.queue_size,
         "policy": args.policy,
@@ -702,6 +740,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     character = default_characterization(use_disk_cache=not args.no_cache)
     result = run_catalog(
         character, seed=args.seed, shards=args.shards, names=selected,
+        backend=args.backend,
     )
     document = build_scorecard(result)
 
@@ -872,6 +911,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="events per shard step (default 1024)",
     )
     analyze.add_argument(
+        "--backend", choices=("inline", "process"), default="inline",
+        help="shard execution backend: inline runs shards in this "
+             "process, process gives each shard a worker process "
+             "(docs/parallelism.md)",
+    )
+    analyze.add_argument(
         "--alpha", type=int, default=768,
         help="sliding-window size α (default: the paper's 768)",
     )
@@ -882,7 +927,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--stage-stats", action="store_true",
         help="attach StageTimer/StageCounters middleware to every "
-             "shard's pipeline and print per-stage cost",
+             "shard's pipeline and print per-stage cost; with "
+             "--backend process (no cross-process middleware) reports "
+             "per-shard worker counters merged via PipelineStats",
     )
     analyze.add_argument(
         "--verify-shards", action="store_true",
@@ -939,6 +986,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--queue-size", type=int, default=4096,
         help="per-session ingest queue capacity (default 4096)",
+    )
+    serve.add_argument(
+        "--session-shards", type=int, default=1,
+        help="shards per tenant session analyzer (default 1 = the "
+             "serial engine)",
+    )
+    serve.add_argument(
+        "--backend", choices=("inline", "process"), default="inline",
+        help="session analyzer backend when sharded: process drains "
+             "each session on its own worker pool "
+             "(docs/parallelism.md)",
     )
     serve.add_argument(
         "--policy", choices=("block", "shed"), default="block",
@@ -1013,6 +1071,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_run.add_argument(
         "--shards", type=int, default=4,
         help="shard count for the parallel replay (default 4)",
+    )
+    scenarios_run.add_argument(
+        "--backend", choices=("inline", "process"), default="inline",
+        help="execution backend for the sharded replay "
+             "(docs/parallelism.md)",
     )
     scenarios_run.add_argument(
         "--format", choices=("text", "json"), default="text",

@@ -45,7 +45,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import (
-    Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+    Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
 )
 
 from repro.openstack.catalog import ApiCatalog
@@ -59,11 +59,27 @@ from repro.core.pipeline.graph import AnalysisPipeline
 from repro.core.pipeline.middleware import StageObserver
 from repro.core.pipeline.stages import STAT_FIELDS, PipelineStats
 from repro.core.reports import FaultReport
+from repro.core.state import StateError, require_state
 from repro.core.symbols import SymbolTable
 from repro.monitoring.store import MetadataStore
 
 #: Default number of events per shard step.
 DEFAULT_BATCH_SIZE = 1024
+
+#: Execution backends for :class:`ShardedAnalyzer`: ``"inline"`` runs
+#: every shard in the calling thread (the differential-oracle half),
+#: ``"process"`` gives each shard a long-lived worker process
+#: (``repro.core.workers``) for real multi-core drain.
+BACKENDS = ("inline", "process")
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process died, wedged, or reported a failure.
+
+    Raised by the ``"process"`` backend instead of hanging; by the
+    time it propagates the whole pool has been torn down (workers
+    stopped or terminated), so the analyzer is safe to abandon.
+    """
 
 #: Report signature: (kind, fault seq, matched operations, θ, causes).
 ReportSignature = Tuple[str, int, Tuple[str, ...], float,
@@ -167,7 +183,22 @@ class ShardedAnalyzer:
     Aggregate counters come from merging the shards'
     :class:`~repro.core.pipeline.stages.PipelineStats` instead of a
     hand-written property per counter.
+
+    ``backend`` selects how shards execute: ``"inline"`` (default)
+    runs them in the calling thread — GIL-bound, but zero IPC and the
+    reference half of every differential oracle — while ``"process"``
+    places each shard in a long-lived worker process
+    (:mod:`repro.core.workers`), seeded once with the pickled library
+    and config, fed pre-chunked event batches with bounded in-flight
+    backpressure, and streaming report batches back to the parent.
+    Both backends produce identical merged reports and counters
+    (``verify_equivalence`` checks it).  A process-backed analyzer
+    owns OS resources: call :meth:`close` (or use the analyzer as a
+    context manager) when done; on worker death every entry point
+    raises :class:`ShardWorkerError` after tearing the pool down.
     """
+
+    STATE_FMT = "sharded-analyzer/v1"
 
     def __init__(
         self,
@@ -186,34 +217,78 @@ class ShardedAnalyzer:
         report_listeners: Sequence[
             Callable[[FaultReport], None]
         ] = (),
+        backend: str = "inline",
+        max_inflight: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (expected one of "
+                f"{BACKENDS})"
+            )
+        if backend == "process" and middleware:
+            raise ValueError(
+                "stage middleware cannot observe shards across the "
+                "process boundary; use backend='inline' for "
+                "StageTimer/StageCounters, or read per-shard "
+                "PipelineStats (ShardedAnalyzer.stats) instead"
+            )
         self.library = library
         self.key = key
+        self.backend = backend
         self.batch_size = max(1, batch_size)
         self.store = store or MetadataStore()
         self.config = config or GretelConfig()
-        builder = (
-            PipelineBuilder(library)
-            .with_symbols(symbols)
-            .with_catalog(catalog)
-            .with_store(self.store)
-            .with_config(self.config)
-            .track_latency(track_latency)
-            .defer_detection(defer_detection)
-        )
-        for observer in middleware:
-            builder.with_middleware(observer)
-        for callback in report_listeners:
-            builder.on_report(callback)
-        self.shards: List[AnalyzerShard] = [
-            AnalyzerShard(
-                index, library, batch_size=self.batch_size,
-                pipeline=builder.build_batched(self.batch_size),
+        if backend == "process":
+            # Imported lazily: workers builds AnalyzerShards, so the
+            # module import is parallel -> workers one-way only here.
+            from repro.core.workers import (
+                DEFAULT_MAX_INFLIGHT,
+                ProcessShard,
+                WorkerSeed,
             )
-            for index in range(shards)
-        ]
+
+            self.shards = []
+            for index in range(shards):
+                seed = WorkerSeed(
+                    shard_id=index,
+                    library=library,
+                    config=self.config,
+                    catalog=catalog,
+                    store=self.store,
+                    batch_size=self.batch_size,
+                    track_latency=track_latency,
+                    defer_detection=defer_detection,
+                )
+                client = ProcessShard(
+                    seed,
+                    max_inflight=max_inflight or DEFAULT_MAX_INFLIGHT,
+                )
+                for callback in report_listeners:
+                    client.on_report(callback)
+                self.shards.append(client)
+        else:
+            builder = (
+                PipelineBuilder(library)
+                .with_symbols(symbols)
+                .with_catalog(catalog)
+                .with_store(self.store)
+                .with_config(self.config)
+                .track_latency(track_latency)
+                .defer_detection(defer_detection)
+            )
+            for observer in middleware:
+                builder.with_middleware(observer)
+            for callback in report_listeners:
+                builder.on_report(callback)
+            self.shards = [
+                AnalyzerShard(
+                    index, library, batch_size=self.batch_size,
+                    pipeline=builder.build_batched(self.batch_size),
+                )
+                for index in range(shards)
+            ]
         #: partition key → shard index, assigned first-seen round-robin
         #: (deterministic for a given stream, maximally balanced across
         #: distinct keys — a stable hash can pile few nodes onto one
@@ -248,13 +323,36 @@ class ShardedAnalyzer:
 
     # -- event intake ------------------------------------------------------
 
+    def _step(self, index: int, chunk: Sequence[WireEvent]) -> None:
+        """Run one shard step; on worker death, tear the pool down."""
+        try:
+            self.shards[index].ingest_batch(chunk)
+        except ShardWorkerError:
+            self.close()
+            raise
+
+    def _fanout(self, op: str) -> List:
+        """Post ``op`` to every process shard, then collect replies.
+
+        Posting first and collecting second keeps all workers busy
+        simultaneously — a sequential call/reply loop would serialize
+        the pool on one core at a time.
+        """
+        try:
+            for shard in self.shards:
+                shard.post(op)
+            return [shard.wait(op) for shard in self.shards]
+        except ShardWorkerError:
+            self.close()
+            raise
+
     def on_event(self, event: WireEvent) -> None:
         """Streaming entry point: buffer per shard, step when full."""
         index = self.shard_index(self.key(event))
         buffer = self._buffers[index]
         buffer.append(event)
         if len(buffer) >= self.batch_size:
-            self.shards[index].ingest_batch(buffer)
+            self._step(index, buffer)
             self._buffers[index] = []
 
     def ingest(self, events: Sequence[WireEvent]) -> int:
@@ -265,7 +363,7 @@ class ShardedAnalyzer:
         """
         shards = self.shards
         if len(shards) == 1:
-            shards[0].ingest_batch(events)
+            self._step(0, events)
             return len(events)
         buckets: List[List[WireEvent]] = [[] for _ in shards]
         key = self.key
@@ -279,7 +377,7 @@ class ShardedAnalyzer:
             buckets[index].append(event)
         for index, bucket in enumerate(buckets):
             if bucket:
-                shards[index].ingest_batch(bucket)
+                self._step(index, bucket)
         return len(events)
 
     def feed(self, events: Iterable[WireEvent]) -> int:
@@ -299,13 +397,18 @@ class ShardedAnalyzer:
         """Drain stream buffers and freeze all pending snapshots."""
         for index, buffer in enumerate(self._buffers):
             if buffer:
-                self.shards[index].ingest_batch(buffer)
+                self._step(index, buffer)
                 self._buffers[index] = []
+        if self.backend == "process":
+            self._fanout("flush")
+            return
         for shard in self.shards:
             shard.flush()
 
     def process_deferred(self) -> int:
         """Analyze every shard's queued snapshots; returns the total."""
+        if self.backend == "process":
+            return sum(int(n) for n in self._fanout("deferred"))
         return sum(shard.process_deferred() for shard in self.shards)
 
     # -- merge stage -------------------------------------------------------
@@ -327,11 +430,110 @@ class ShardedAnalyzer:
         """Merged reports for performance faults."""
         return [r for r in self.reports if r.kind == "performance"]
 
+    def shed_logs(self) -> None:
+        """Discard accumulated report logs on every shard.
+
+        For long-lived callers (the streaming service) that have
+        already fanned reports out to listeners: keeps analyzer memory
+        bounded by the windows, not by reports published.
+        """
+        for shard in self.shards:
+            shard.shed_logs()
+
     # -- aggregate stats ---------------------------------------------------
 
     def stats(self) -> PipelineStats:
         """Counters merged across all shards."""
+        if self.backend == "process":
+            return PipelineStats.merged(self._fanout("stats"))
         return PipelineStats.merged(s.stats() for s in self.shards)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release shard resources; stops process-backend workers.
+
+        Idempotent and safe on a partially dead pool.  Inline shards
+        hold no OS resources, so closing is a no-op there — callers
+        can treat both backends uniformly.
+        """
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedAnalyzer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- checkpoint state --------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Serializable mid-stream state: routing + shard pipelines.
+
+        Reports are excluded per the state protocol
+        (:mod:`repro.core.state`); the process backend snapshots each
+        worker's pipeline over the wire, so a process-backed session
+        checkpoints exactly like an inline one.
+        """
+        if self.backend == "process":
+            pipelines = self._fanout("snapshot")
+        else:
+            pipelines = [shard.snapshot_state() for shard in self.shards]
+        return {
+            "fmt": self.STATE_FMT,
+            "backend": self.backend,
+            "shards": self.n_shards,
+            "batch_size": self.batch_size,
+            "assignment": dict(self._assignment),
+            "buffers": [
+                [event.to_dict() for event in buffer]
+                for buffer in self._buffers
+            ],
+            "pipelines": pipelines,
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Rehydrate a fresh, identically sharded analyzer.
+
+        The backend need not match the one that took the snapshot —
+        pipeline states are backend-agnostic — but the shard count
+        must, because the round-robin assignment map is keyed by it.
+        """
+        require_state(state, self.STATE_FMT)
+        if int(state["shards"]) != self.n_shards:
+            raise StateError(
+                f"state has {state['shards']} shards, analyzer has "
+                f"{self.n_shards}"
+            )
+        pipelines = state["pipelines"]
+        if len(pipelines) != self.n_shards:
+            raise StateError(
+                f"state has {len(pipelines)} pipeline states for "
+                f"{state['shards']} shards"
+            )
+        self._assignment = {
+            str(k): int(v) for k, v in state["assignment"].items()
+        }
+        self._buffers = [
+            [WireEvent.from_dict(e) for e in buffer]
+            for buffer in state["buffers"]
+        ]
+        if len(self._buffers) != self.n_shards:
+            raise StateError(
+                f"state has {len(self._buffers)} buffers for "
+                f"{state['shards']} shards"
+            )
+        if self.backend == "process":
+            try:
+                for shard, pipeline in zip(self.shards, pipelines):
+                    shard.restore_state(pipeline)
+            except ShardWorkerError:
+                self.close()
+                raise
+        else:
+            for shard, pipeline in zip(self.shards, pipelines):
+                shard.restore_state(pipeline)
 
     def __getattr__(self, name: str):
         # Aggregate counters (events_processed, bytes_processed,
@@ -405,6 +607,7 @@ def verify_equivalence(
     track_latency: bool = True,
     defer_detection: bool = False,
     strict: bool = True,
+    backend: str = "inline",
 ) -> EquivalenceResult:
     """Replay ``events`` serially and sharded; compare report sets.
 
@@ -417,6 +620,11 @@ def verify_equivalence(
     multisets of :func:`report_signature`; with ``strict`` (the
     default) any divergence raises :class:`ShardDivergence`, otherwise
     the caller inspects :attr:`EquivalenceResult.ok`.
+
+    ``backend`` selects the sharded half's execution backend, so the
+    same oracle that proves partitioning semantics-preserving also
+    proves the process pool faithful: a worker that drops, duplicates
+    or corrupts a report diverges here.
     """
     events = list(events)
     config = config or GretelConfig()
@@ -434,24 +642,32 @@ def verify_equivalence(
         store=store or MetadataStore(), config=config,
         track_latency=track_latency,
         defer_detection=defer_detection,
+        backend=backend,
     )
-    sharded.feed(events)
-    sharded.flush()
+    try:
+        sharded.feed(events)
+        sharded.flush()
 
-    if defer_detection:
-        serial.process_deferred()
-        sharded.process_deferred()
+        if defer_detection:
+            serial.process_deferred()
+            sharded.process_deferred()
 
-    serial_counts = Counter(report_signature(r) for r in serial.reports)
-    sharded_counts = Counter(report_signature(r) for r in sharded.reports)
-    result = EquivalenceResult(
-        shards=shards,
-        events=len(events),
-        serial_reports=len(serial.reports),
-        sharded_reports=len(sharded.reports),
-        missing=sorted((serial_counts - sharded_counts).elements()),
-        extra=sorted((sharded_counts - serial_counts).elements()),
-    )
+        serial_counts = Counter(
+            report_signature(r) for r in serial.reports
+        )
+        sharded_counts = Counter(
+            report_signature(r) for r in sharded.reports
+        )
+        result = EquivalenceResult(
+            shards=shards,
+            events=len(events),
+            serial_reports=len(serial.reports),
+            sharded_reports=len(sharded.reports),
+            missing=sorted((serial_counts - sharded_counts).elements()),
+            extra=sorted((sharded_counts - serial_counts).elements()),
+        )
+    finally:
+        sharded.close()
     if strict and not result.ok:
         raise ShardDivergence(result.summary())
     return result

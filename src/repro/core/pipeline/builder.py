@@ -202,8 +202,15 @@ class PipelineBuilder:
         *,
         key: Optional[Callable[[WireEvent], str]] = None,
         batch_size: Optional[int] = None,
+        backend: str = "inline",
     ) -> "ShardedAnalyzer":
-        """A sharded analyzer whose shards share this wiring."""
+        """A sharded analyzer whose shards share this wiring.
+
+        ``backend="process"`` runs each shard in a long-lived worker
+        process (see ``docs/parallelism.md``); note stage middleware
+        cannot cross the process boundary, so combining the two is
+        rejected by the analyzer.
+        """
         from repro.core.parallel import (
             DEFAULT_BATCH_SIZE,
             ShardedAnalyzer,
@@ -223,4 +230,5 @@ class PipelineBuilder:
             defer_detection=self._defer_detection,
             middleware=tuple(self._middleware),
             report_listeners=tuple(self._listeners),
+            backend=backend,
         )

@@ -133,6 +133,23 @@ class PipelineAnalyzer:
         """Analyze queued snapshots (the detection 'thread''s backlog)."""
         return self.pipeline.process_deferred()
 
+    def shed_logs(self) -> None:
+        """Discard the delivered report and anomaly logs.
+
+        For long-lived callers that have already fanned reports out to
+        listeners: keeps analyzer memory bounded by the windows, not
+        by reports published.  Lifetime counters are unaffected.
+        """
+        self.pipeline.publish.drain()
+        self.pipeline.tracker.drain_anomalies()
+
+    def close(self) -> None:
+        """Release analyzer resources (no-op for in-process engines).
+
+        Exists so callers can treat every execution engine uniformly;
+        process-backed shards override this to stop their workers.
+        """
+
     # -- state lifecycle (see repro.core.state) ---------------------------
 
     def snapshot_state(self) -> Dict[str, Any]:

@@ -1,0 +1,392 @@
+"""Process-backend shard execution: one worker process per shard.
+
+``ShardedAnalyzer(backend="process")`` places each shard's
+:class:`~repro.core.parallel.AnalyzerShard` in a long-lived worker
+process so shards genuinely run on separate cores instead of taking
+turns under the GIL.  The module has two halves:
+
+* :func:`shard_worker_main` — the worker's event loop.  It is seeded
+  **once** with a pickled :class:`WorkerSeed` (fingerprint library,
+  config, catalog, metadata-store snapshot), builds its own
+  ``AnalyzerShard`` locally (hydrating detector caches and the
+  compiled selection index in-process), then serves commands from a
+  duplex pipe.  After every command it drains the pipeline's publish
+  log and anomaly log and ships the new
+  :class:`~repro.core.reports.FaultReport` batch back with the reply,
+  so worker memory stays bounded and the parent streams reports as
+  they are produced.
+* :class:`ProcessShard` — the parent-side client.  It exposes the same
+  surface as an inline ``AnalyzerShard`` (``ingest_batch`` / ``flush``
+  / ``process_deferred`` / ``stats`` / ``reports`` /
+  ``snapshot_state`` / ``restore_state``) so the routing, merge and
+  stats code in :class:`~repro.core.parallel.ShardedAnalyzer` is
+  backend-agnostic.
+
+Wire protocol (one reply per command, FIFO per connection):
+
+    parent -> worker   (op, payload)
+    worker -> parent   (tag, op, payload, reports)
+
+where ``tag`` is ``"ok"`` or ``"error"`` (payload then carries the
+worker traceback).  Lifecycle robustness:
+
+* **Backpressure** — ``ingest_batch`` splits work into
+  ``batch_size``-event chunk commands and caps unacknowledged chunks
+  at ``max_inflight``; once the cap is reached the parent blocks on
+  the next reply, so a slow shard stalls its producer instead of
+  growing an unbounded pipe buffer.
+* **Liveness** — every reply wait polls the worker's ``is_alive`` and
+  a deadline; a dead or wedged worker raises
+  :class:`~repro.core.parallel.ShardWorkerError` instead of hanging.
+* **Teardown** — any failure (or :meth:`ProcessShard.close`) joins the
+  worker with a timeout and terminates it if the join expires;
+  workers are daemonic, so an abandoned pool can never outlive the
+  parent process.
+
+See ``docs/parallelism.md`` for the design discussion (chunking,
+seeding, rejected alternatives).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.config import GretelConfig
+from repro.core.fingerprint import FingerprintLibrary
+from repro.core.parallel import AnalyzerShard, ShardWorkerError
+from repro.core.pipeline.stages import PipelineStats
+from repro.core.reports import FaultReport
+from repro.monitoring.store import MetadataStore
+from repro.openstack.catalog import ApiCatalog
+from repro.openstack.wire import WireEvent
+
+#: Maximum unacknowledged chunk commands per shard before the parent
+#: blocks (synchronous backpressure on the producer).
+DEFAULT_MAX_INFLIGHT = 4
+
+#: Seconds to wait for one worker reply before declaring it wedged.
+REPLY_TIMEOUT = 120.0
+
+#: Seconds to wait for a worker to exit at close before terminating it.
+JOIN_TIMEOUT = 5.0
+
+#: Start method: fork is cheap on Linux (the seed is shared
+#: copy-on-write); the explicit pickled seed keeps spawn working where
+#: fork is unavailable (or becomes non-default).
+_START_METHODS = ("fork", "spawn")
+
+
+def _context() -> Any:
+    for method in _START_METHODS:
+        if method in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()
+
+
+@dataclass
+class WorkerSeed:
+    """Everything a worker needs to build its shard, pickled once.
+
+    The metadata store crosses the boundary as a snapshot copy: the
+    analysis pipeline only *reads* monitoring metadata (populated at
+    capture time), so each worker consults an identical read-only
+    copy.  Collaborators with in-process caches (fingerprint matchers,
+    the compiled selection index) rehydrate lazily inside the worker.
+    """
+
+    shard_id: int
+    library: FingerprintLibrary
+    config: Optional[GretelConfig]
+    catalog: Optional[ApiCatalog]
+    store: Optional[MetadataStore]
+    batch_size: int
+    track_latency: bool
+    defer_detection: bool
+
+
+def _build_shard(seed: WorkerSeed) -> AnalyzerShard:
+    return AnalyzerShard(
+        seed.shard_id,
+        seed.library,
+        batch_size=seed.batch_size,
+        catalog=seed.catalog,
+        store=seed.store,
+        config=seed.config,
+        track_latency=seed.track_latency,
+        defer_detection=seed.defer_detection,
+    )
+
+
+def _dispatch(shard: AnalyzerShard, op: str, payload: Any) -> Any:
+    if op == "chunk":
+        shard.ingest_batch(payload)
+        return None
+    if op == "flush":
+        shard.flush()
+        return None
+    if op == "deferred":
+        return shard.process_deferred()
+    if op == "stats":
+        return shard.stats()
+    if op == "snapshot":
+        return shard.snapshot_state()
+    if op == "restore":
+        shard.restore_state(payload)
+        return None
+    if op == "ping":
+        return None
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+def shard_worker_main(conn: Any, seed: WorkerSeed) -> None:
+    """The worker process: build the shard, then serve commands."""
+    try:
+        shard = _build_shard(seed)
+    except BaseException:
+        try:
+            conn.send(("error", "seed", traceback.format_exc(), []))
+        except OSError:
+            pass
+        conn.close()
+        return
+    pipeline = shard.pipeline
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if op == "stop":
+            try:
+                conn.send(("ok", "stop", None, []))
+            except OSError:
+                pass
+            break
+        try:
+            result = _dispatch(shard, op, payload)
+            # Ship every report produced by this command and forget it
+            # locally: worker memory stays bounded by the window and
+            # the deferred queue, never by reports published.
+            reports = pipeline.publish.drain()
+            pipeline.tracker.drain_anomalies()
+            reply = ("ok", op, result, reports)
+        except BaseException:
+            reply = ("error", op, traceback.format_exc(), [])
+        try:
+            conn.send(reply)
+        except OSError:
+            break
+    conn.close()
+
+
+class ProcessShard:
+    """Parent-side client for one shard worker process.
+
+    Mirrors the inline :class:`~repro.core.parallel.AnalyzerShard`
+    surface so :class:`~repro.core.parallel.ShardedAnalyzer` treats
+    both backends identically.  Reports stream back attached to
+    replies and accumulate here (in worker emit order) until read via
+    :attr:`reports` or handed off via :meth:`shed_logs`.
+    """
+
+    def __init__(
+        self,
+        seed: WorkerSeed,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        reply_timeout: float = REPLY_TIMEOUT,
+        context: Any = None,
+    ) -> None:
+        ctx = context or _context()
+        self.shard_id = seed.shard_id
+        self.batch_size = max(1, seed.batch_size)
+        self.max_inflight = max(1, max_inflight)
+        self.reply_timeout = reply_timeout
+        self._inflight = 0
+        self._closed = False
+        self._reports: List[FaultReport] = []
+        self._listeners: List[Callable[[FaultReport], None]] = []
+        self._conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=shard_worker_main,
+            args=(child, seed),
+            daemon=True,
+            name=f"gretel-shard-{seed.shard_id}",
+        )
+        self.process.start()
+        child.close()
+
+    # -- report fan-in ----------------------------------------------------
+
+    def on_report(self, callback: Callable[[FaultReport], None]) -> None:
+        """Register a report consumer, fired as reply batches arrive.
+
+        Unlike the inline backend (listeners fire inside the shard's
+        synchronous step), process-backend listeners fire on the
+        parent when a worker reply is absorbed — same reports, same
+        per-shard order, later wall-clock point.
+        """
+        self._listeners.append(callback)
+
+    def _collect(self, reports: Sequence[FaultReport]) -> None:
+        # Single seam through which every worker-produced report
+        # enters the parent; the negative-oracle tests tamper here to
+        # prove verify_equivalence catches a dropping/duplicating
+        # worker.
+        self._reports.extend(reports)
+        for callback in self._listeners:
+            for report in reports:
+                callback(report)
+
+    @property
+    def reports(self) -> List[FaultReport]:
+        """Reports received so far (call after flush/drain to sync)."""
+        return list(self._reports)
+
+    def shed_logs(self) -> None:
+        """Hand off accumulated reports (already fanned out)."""
+        self._reports.clear()
+
+    # -- protocol plumbing ------------------------------------------------
+
+    def _fail(self, message: str) -> "ShardWorkerError":
+        self.close()
+        raise ShardWorkerError(message)
+
+    def post(self, op: str, payload: Any = None) -> None:
+        """Send one command without waiting for its reply."""
+        if self._closed:
+            self._fail(
+                f"shard {self.shard_id} worker is closed "
+                f"(command {op!r} rejected)"
+            )
+        if not self.process.is_alive() and not self._conn.poll():
+            self._fail(
+                f"shard {self.shard_id} worker died "
+                f"(exit code {self.process.exitcode}) "
+                f"before command {op!r}"
+            )
+        try:
+            self._conn.send((op, payload))
+        except (OSError, ValueError) as error:
+            self._fail(
+                f"cannot reach shard {self.shard_id} worker: {error}"
+            )
+        self._inflight += 1
+
+    def _reply(self) -> Any:
+        """Receive one reply (FIFO); raises on error/death/timeout."""
+        if self._closed:
+            self._fail(f"shard {self.shard_id} worker is closed")
+        deadline = time.monotonic() + self.reply_timeout
+        while not self._conn.poll(0.05):
+            if not self.process.is_alive() and not self._conn.poll():
+                self._fail(
+                    f"shard {self.shard_id} worker died "
+                    f"(exit code {self.process.exitcode}) "
+                    "with replies outstanding"
+                )
+            if time.monotonic() >= deadline:
+                self._fail(
+                    f"shard {self.shard_id} worker did not reply "
+                    f"within {self.reply_timeout:.0f}s"
+                )
+        try:
+            tag, op, payload, reports = self._conn.recv()
+        except (EOFError, OSError) as error:
+            self._fail(
+                f"lost connection to shard {self.shard_id} worker: "
+                f"{error}"
+            )
+        self._inflight -= 1
+        self._collect(reports)
+        if tag == "error":
+            self._fail(
+                f"shard {self.shard_id} worker failed in {op!r}:\n"
+                f"{payload}"
+            )
+        return op, payload
+
+    def wait(self, op: str) -> Any:
+        """Absorb replies until ``op``'s arrives; returns its payload."""
+        while True:
+            got, payload = self._reply()
+            if got == op:
+                return payload
+
+    def call(self, op: str, payload: Any = None) -> Any:
+        """Round-trip one command (absorbing earlier replies first)."""
+        self.post(op, payload)
+        return self.wait(op)
+
+    # -- AnalyzerShard surface --------------------------------------------
+
+    def ingest_batch(self, chunk: Sequence[WireEvent]) -> None:
+        """Ship a FIFO run of this shard's events as chunk commands.
+
+        Splits into ``batch_size`` chunks, absorbs any replies already
+        waiting (keeping report latency low), and blocks once
+        ``max_inflight`` chunks are unacknowledged — synchronous
+        backpressure, so a slow worker stalls its producer instead of
+        buffering without bound.
+        """
+        total = len(chunk)
+        if not total:
+            return
+        for start in range(0, total, self.batch_size):
+            while self._conn.poll():
+                self._reply()
+            self.post("chunk", list(chunk[start:start + self.batch_size]))
+            while self._inflight >= self.max_inflight:
+                self._reply()
+
+    def flush(self) -> None:
+        self.call("flush")
+
+    def process_deferred(self) -> int:
+        return int(self.call("deferred"))
+
+    def stats(self) -> PipelineStats:
+        stats = self.call("stats")
+        assert isinstance(stats, PipelineStats)
+        return stats
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        state = self.call("snapshot")
+        assert isinstance(state, dict)
+        return state
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        # Restoring rewinds the worker to a fresh-plus-state analyzer;
+        # reports accumulated from any earlier stream are not part of
+        # the restored run.
+        self.call("restore", dict(state))
+        self._reports.clear()
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the worker; idempotent, never raises, never hangs."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.process.is_alive():
+            try:
+                self._conn.send(("stop", None))
+            except (OSError, ValueError):
+                pass
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self.process.join(JOIN_TIMEOUT)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(JOIN_TIMEOUT)

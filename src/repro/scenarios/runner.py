@@ -64,17 +64,21 @@ def _serial_replay(captured: CapturedRun, scenario: Scenario,
 
 
 def _sharded_replay(captured: CapturedRun, scenario: Scenario,
-                    config: GretelConfig,
-                    shards: int) -> List[FaultReport]:
+                    config: GretelConfig, shards: int,
+                    backend: str) -> List[FaultReport]:
     """Feed the capture through a fresh sharded pipeline."""
     analyzer = ShardedAnalyzer(
         scenario.character.library, shards,
         store=captured.store, config=config,
         track_latency=scenario.track_latency,
+        backend=backend,
     )
-    analyzer.feed(captured.events)
-    analyzer.flush()
-    return list(analyzer.reports)
+    try:
+        analyzer.feed(captured.events)
+        analyzer.flush()
+        return list(analyzer.reports)
+    finally:
+        analyzer.close()
 
 
 def _grade(scenario: Scenario, captured: CapturedRun,
@@ -104,8 +108,8 @@ def _detection_equivalent(result: EquivalenceResult) -> bool:
 
 
 def _grade_equivalence(scenario: Scenario, captured: CapturedRun,
-                       config: GretelConfig,
-                       shards: int) -> OracleOutcome:
+                       config: GretelConfig, shards: int,
+                       backend: str) -> OracleOutcome:
     """Judge serial-vs-sharded agreement at the declared contract."""
     mode = scenario.equivalence
     if mode == "off":
@@ -121,6 +125,7 @@ def _grade_equivalence(scenario: Scenario, captured: CapturedRun,
         captured.events, scenario.character.library, shards,
         config=config, store=captured.store,
         track_latency=scenario.track_latency, strict=False,
+        backend=backend,
     )
     counts: Dict[str, object] = {
         "serial_reports": result.serial_reports,
@@ -221,12 +226,16 @@ def run_scenario(
     seed: int = 0,
     shards: int = 4,
     detect: bool = True,
+    backend: str = "inline",
 ) -> ScenarioResult:
     """Capture, replay (serial + sharded), and grade one scenario.
 
     ``detect=False`` skips the replays and grades empty report lists —
     the degenerate no-detector run the negative-path tests use to
     prove 0/0 precision stays undefined instead of crashing.
+    ``backend`` selects the sharded replay's execution backend; the
+    grades and the scorecard rendering are backend-independent (the
+    equivalence oracle is what proves that).
     """
     cls = _resolve(ref)
     scenario = cls(character, seed=seed)
@@ -236,9 +245,10 @@ def run_scenario(
 
     if detect:
         serial = _serial_replay(captured, scenario, config)
-        sharded = _sharded_replay(captured, scenario, config, shards)
+        sharded = _sharded_replay(captured, scenario, config, shards,
+                                  backend)
         equivalence: Optional[OracleOutcome] = _grade_equivalence(
-            scenario, captured, config, shards,
+            scenario, captured, config, shards, backend,
         )
     else:
         serial = []
@@ -318,12 +328,13 @@ def run_catalog(
     shards: int = 4,
     names: Optional[Sequence[str]] = None,
     detect: bool = True,
+    backend: str = "inline",
 ) -> CatalogResult:
     """Run every (or the named subset of) registered scenario."""
     selected = list(names) if names else registry.names()
     results = [
         run_scenario(name, character, seed=seed, shards=shards,
-                     detect=detect)
+                     detect=detect, backend=backend)
         for name in selected
     ]
     return CatalogResult(results=results, seed=seed, shards=shards)

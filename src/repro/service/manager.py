@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.core.analyzer import GretelAnalyzer
 from repro.core.config import GretelConfig
 from repro.core.fingerprint import FingerprintLibrary
 from repro.core.pipeline.builder import PipelineBuilder
@@ -34,7 +33,9 @@ from repro.monitoring.store import MetadataStore
 from repro.openstack.catalog import ApiCatalog
 from repro.openstack.wire import WireEvent
 from repro.service.checkpoint import CheckpointStore
-from repro.service.session import ReportSink, TenantSession
+from repro.service.session import (
+    ReportSink, SessionAnalyzer, TenantSession,
+)
 
 #: Tenant bucket used when an event carries no tenant id.
 DEFAULT_TENANT = "default"
@@ -76,9 +77,15 @@ class StreamingService:
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoint_every: int = 0,
         restore: bool = True,
+        shards: int = 1,
+        backend: str = "inline",
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.shards = shards
+        self.backend = backend
         self.library = library
         self._symbols = symbols
         self._catalog = catalog
@@ -98,11 +105,12 @@ class StreamingService:
         self.sessions_restored = 0
         self._since_checkpoint: Dict[str, int] = {}
         self._sinks: List[ReportSink] = []
+        self._shut_down = False
 
     # -- session lifecycle ----------------------------------------------
 
-    def _build_analyzer(self) -> GretelAnalyzer:
-        return (
+    def _build_analyzer(self) -> SessionAnalyzer:
+        builder = (
             PipelineBuilder(self.library)
             .with_symbols(self._symbols)
             .with_catalog(self._catalog)
@@ -110,8 +118,15 @@ class StreamingService:
             .with_config(self._config)
             .track_latency(self._track_latency)
             .defer_detection(self._defer_detection)
-            .build_serial()
         )
+        if self.shards > 1 or self.backend != "inline":
+            # A per-tenant sharded engine: sessions drain on their own
+            # worker pool (backend="process"), so tenants genuinely
+            # analyze on separate cores.
+            return builder.build_sharded(
+                self.shards, backend=self.backend
+            )
+        return builder.build_serial()
 
     def session(self, tenant: str) -> TenantSession:
         """The live session for ``tenant``, created (and restored from
@@ -226,6 +241,23 @@ class StreamingService:
         self.flush()
         if self.checkpoints is not None:
             self.checkpoint_all()
+
+    def shutdown(self) -> None:
+        """Close the service, then release every session's analyzer.
+
+        :meth:`close` keeps sessions usable (a drained service can
+        keep ingesting); ``shutdown`` is terminal and idempotent — it
+        additionally stops per-session worker pools when sessions run
+        the sharded ``backend="process"`` engine.  Checkpoints are
+        written before workers stop, so a restarted service restores
+        cleanly.
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self.close()
+        for live in self.sessions.values():
+            live.close()
 
     # -- observability ----------------------------------------------------
 

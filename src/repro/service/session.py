@@ -23,9 +23,10 @@ inspection (``repro serve`` prints them).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Mapping
+from typing import (
+    Any, Callable, Deque, Dict, List, Mapping, Protocol,
+)
 
-from repro.core.analyzer import GretelAnalyzer
 from repro.core.reports import FaultReport
 from repro.core.state import StateError, require_state
 from repro.openstack.wire import WireEvent
@@ -36,6 +37,32 @@ POLICIES = ("block", "shed")
 ReportSink = Callable[[str, FaultReport], None]
 
 
+class SessionAnalyzer(Protocol):
+    """Structural type of any engine a session can wrap.
+
+    Satisfied by the serial :class:`~repro.core.analyzer.GretelAnalyzer`
+    and by :class:`~repro.core.parallel.ShardedAnalyzer` (either
+    backend), so a tenant session can drain on a process pool without
+    knowing it.
+    """
+
+    def on_event(self, event: WireEvent) -> None: ...
+
+    def on_report(
+        self, callback: Callable[[FaultReport], None]
+    ) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def shed_logs(self) -> None: ...
+
+    def close(self) -> None: ...
+
+    def snapshot_state(self) -> Dict[str, Any]: ...
+
+    def restore_state(self, state: Mapping[str, Any]) -> None: ...
+
+
 class TenantSession:
     """Bounded-queue streaming session for one tenant (one cloud)."""
 
@@ -44,7 +71,7 @@ class TenantSession:
     def __init__(
         self,
         tenant: str,
-        analyzer: GretelAnalyzer,
+        analyzer: SessionAnalyzer,
         *,
         queue_capacity: int = 4096,
         policy: str = "block",
@@ -126,8 +153,14 @@ class TenantSession:
 
     def _shed_logs(self) -> None:
         """Hand off pipeline-internal logs (already fanned out)."""
-        self.analyzer.pipeline.publish.drain()
-        self.analyzer.pipeline.tracker.drain_anomalies()
+        self.analyzer.shed_logs()
+
+    def close(self) -> None:
+        """Release the analyzer's resources (worker processes, if a
+        process-backed sharded engine is wrapped).  Checkpoint before
+        closing: a process-backed analyzer cannot snapshot after its
+        workers have stopped."""
+        self.analyzer.close()
 
     @property
     def queued(self) -> int:

@@ -340,3 +340,194 @@ def test_oracle_summary_on_equivalent_run(library):
 def test_source_node_key_reads_src_node(library):
     event = make_stream(library).events(1)[0]
     assert source_node_key(event) == event.src_node
+
+
+# ---------------------------------------------------------------------------
+# Process backend
+# ---------------------------------------------------------------------------
+
+def test_unknown_backend_rejected(library):
+    with pytest.raises(ValueError):
+        ShardedAnalyzer(library, 2, backend="threads")
+
+
+def test_process_backend_rejects_middleware(library):
+    from repro.core.pipeline import StageTimer
+
+    with pytest.raises(ValueError):
+        ShardedAnalyzer(library, 2, backend="process",
+                        middleware=(StageTimer(),))
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_process_backend_equivalent_to_serial(library, shards):
+    events = make_stream(library, fault_every=40).events(1200)
+    result = verify_equivalence(
+        events, library, shards, batch_size=128, config=config(),
+        strict=True, backend="process",
+    )
+    assert result.ok
+    assert result.serial_reports == result.sharded_reports > 0
+
+
+def test_process_backend_counters_and_reports_match_inline(library):
+    events = make_stream(library).events(1200)
+    inline = ShardedAnalyzer(library, 4, config=config(),
+                             track_latency=False, batch_size=100)
+    inline.feed(events)
+    inline.flush()
+    with ShardedAnalyzer(library, 4, config=config(),
+                         track_latency=False, batch_size=100,
+                         backend="process") as proc:
+        proc.feed(events)
+        proc.flush()
+        assert proc.events_processed == len(events)
+        assert proc.bytes_processed == inline.bytes_processed
+        assert proc.operational_faults_seen == \
+            inline.operational_faults_seen
+        assert proc.snapshots_taken == inline.snapshots_taken
+        assert [report_signature(r) for r in proc.reports] == \
+            [report_signature(r) for r in inline.reports]
+
+
+def test_process_backend_report_listeners_fire_on_parent(library):
+    events = make_stream(library, fault_every=40).events(800)
+    seen = []
+    with ShardedAnalyzer(library, 2, batch_size=64, config=config(),
+                         backend="process",
+                         report_listeners=(seen.append,)) as analyzer:
+        analyzer.ingest(events)
+        analyzer.flush()
+        assert len(seen) == len(analyzer.reports) > 0
+
+
+def test_process_backend_checkpoint_roundtrip(library):
+    """Snapshot a process-backed run mid-stream, restore into a fresh
+    pool, finish the stream: the union of reports matches an
+    uninterrupted inline run bit-for-bit."""
+    events = make_stream(library, fault_every=40).events(1200)
+    cut = 700
+
+    reference = ShardedAnalyzer(library, 2, batch_size=64,
+                                config=config(), track_latency=False)
+    reference.ingest(events)
+    reference.flush()
+
+    first = ShardedAnalyzer(library, 2, batch_size=64, config=config(),
+                            track_latency=False, backend="process")
+    try:
+        for event in events[:cut]:
+            first.on_event(event)
+        state = first.snapshot_state()
+        early = [report_signature(r) for r in first.reports]
+    finally:
+        first.close()
+
+    second = ShardedAnalyzer(library, 2, batch_size=64, config=config(),
+                             track_latency=False, backend="process")
+    try:
+        second.restore_state(state)
+        for event in events[cut:]:
+            second.on_event(event)
+        second.flush()
+        late = [report_signature(r) for r in second.reports]
+    finally:
+        second.close()
+
+    assert early + late == \
+        [report_signature(r) for r in reference.reports]
+
+
+def test_restore_rejects_mismatched_shard_count(library):
+    from repro.core.state import StateError
+
+    donor = ShardedAnalyzer(library, 2, config=config(),
+                            track_latency=False)
+    state = donor.snapshot_state()
+    receiver = ShardedAnalyzer(library, 3, config=config(),
+                               track_latency=False)
+    with pytest.raises(StateError):
+        receiver.restore_state(state)
+
+
+# ---------------------------------------------------------------------------
+# Process-backend failure modes (the negative oracle)
+# ---------------------------------------------------------------------------
+
+def test_worker_dropping_a_report_raises_divergence(library, monkeypatch):
+    """A worker that loses a report must not pass the oracle."""
+    from repro.core import workers
+
+    original = workers.ProcessShard._collect
+    state = {"dropped": False}
+
+    def dropping(self, reports):
+        reports = list(reports)
+        if reports and not state["dropped"]:
+            state["dropped"] = True
+            reports = reports[1:]
+        original(self, reports)
+
+    monkeypatch.setattr(workers.ProcessShard, "_collect", dropping)
+    events = make_stream(library, fault_every=40).events(800)
+    with pytest.raises(ShardDivergence):
+        verify_equivalence(events, library, 2, batch_size=64,
+                           config=config(), backend="process")
+
+
+def test_worker_duplicating_a_report_raises_divergence(
+    library, monkeypatch,
+):
+    """A worker that double-delivers must not pass the oracle."""
+    from repro.core import workers
+
+    original = workers.ProcessShard._collect
+    state = {"duplicated": False}
+
+    def duplicating(self, reports):
+        reports = list(reports)
+        if reports and not state["duplicated"]:
+            state["duplicated"] = True
+            reports = reports + [reports[0]]
+        original(self, reports)
+
+    monkeypatch.setattr(workers.ProcessShard, "_collect", duplicating)
+    events = make_stream(library, fault_every=40).events(800)
+    with pytest.raises(ShardDivergence):
+        verify_equivalence(events, library, 2, batch_size=64,
+                           config=config(), backend="process")
+
+
+def test_killed_worker_raises_worker_error_not_hang(library):
+    import os
+    import signal
+
+    from repro.core.parallel import ShardWorkerError
+
+    events = make_stream(library).events(400)
+    analyzer = ShardedAnalyzer(library, 2, batch_size=64,
+                               config=config(), track_latency=False,
+                               backend="process")
+    analyzer.ingest(events)
+    victim = analyzer.shards[0]
+    os.kill(victim.process.pid, signal.SIGKILL)
+    victim.process.join(5)
+    with pytest.raises(ShardWorkerError):
+        analyzer.flush()
+    # The whole pool was torn down, and further work is rejected
+    # immediately instead of wedging.
+    assert all(shard.closed for shard in analyzer.shards)
+    with pytest.raises(ShardWorkerError):
+        analyzer.flush()
+
+
+def test_worker_internal_error_propagates_and_closes_pool(library):
+    from repro.core.parallel import ShardWorkerError
+
+    analyzer = ShardedAnalyzer(library, 2, config=config(),
+                               track_latency=False, backend="process")
+    with pytest.raises(ShardWorkerError) as excinfo:
+        analyzer.shards[0].call("no-such-op")
+    assert "no-such-op" in str(excinfo.value)
+    assert analyzer.shards[0].closed
+    analyzer.close()

@@ -145,3 +145,92 @@ def test_restore_false_starts_fresh(library, stream_events, tmp_path):
     fresh.pump(stream_events[100:110], tenant="acme")
     assert fresh.sessions_restored == 0
     assert fresh.sessions["acme"].events_ingested == 10
+
+
+# ---------------------------------------------------------------------------
+# Sharded / process-backed session analyzers
+# ---------------------------------------------------------------------------
+
+def _published(service):
+    reports = []
+    service.on_report(lambda tenant, report: reports.append(
+        (tenant, report_signature(report))
+    ))
+    return reports
+
+
+def test_sharded_sessions_match_serial_sessions(library, stream_events):
+    serial = build_service(library)
+    serial_reports = _published(serial)
+    serial.pump(stream_events)
+    serial.flush()
+
+    sharded = build_service(library, shards=2)
+    sharded_reports = _published(sharded)
+    sharded.pump(stream_events)
+    sharded.flush()
+
+    assert sorted(sharded_reports) == sorted(serial_reports)
+    assert sharded.stats().events_analyzed == \
+        serial.stats().events_analyzed
+
+
+def test_process_backend_sessions_match_serial(library, stream_events):
+    serial = build_service(library)
+    serial_reports = _published(serial)
+    serial.pump(stream_events)
+    serial.flush()
+
+    service = build_service(library, shards=2, backend="process")
+    process_reports = _published(service)
+    try:
+        service.pump(stream_events)
+        service.flush()
+        assert sorted(process_reports) == sorted(serial_reports)
+        assert len(process_reports) > 0
+        assert service.stats().events_analyzed == len(stream_events)
+    finally:
+        service.shutdown()
+    # Shutdown is terminal for the worker pools…
+    for live in service.sessions.values():
+        assert all(shard.closed for shard in live.analyzer.shards)
+    # …and idempotent.
+    service.shutdown()
+
+
+def test_process_backend_checkpoint_and_resume(
+    library, stream_events, tmp_path,
+):
+    cut = 500
+    store = CheckpointStore(tmp_path)
+
+    first = build_service(
+        library, shards=2, backend="process", checkpoint_store=store,
+    )
+    first_reports = _published(first)
+    first.pump(stream_events[:cut])
+    first.drain()
+    first.shutdown()  # checkpoints, then stops the worker pools
+
+    second = build_service(
+        library, shards=2, backend="process", checkpoint_store=store,
+    )
+    second_reports = _published(second)
+    try:
+        second.pump(stream_events[cut:])
+        second.flush()
+    finally:
+        second.shutdown()
+
+    straight = build_service(library, shards=2)
+    straight_reports = _published(straight)
+    straight.pump(stream_events)
+    straight.flush()
+
+    assert sorted(first_reports + second_reports) == \
+        sorted(straight_reports)
+
+
+def test_service_shard_validation(library):
+    with pytest.raises(ValueError, match="shards"):
+        build_service(library, shards=0)

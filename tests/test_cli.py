@@ -240,7 +240,7 @@ def test_analyze_reports_throughput(full_character, capsys):
     assert main(["analyze", "--events", "3000", "--shards", "2",
                  "--no-latency"]) == 0
     out = capsys.readouterr().out
-    assert "2-shard analyzer over 3000 events" in out
+    assert "2-shard analyzer (inline backend) over 3000 events" in out
     assert "ingest" in out and "events/s" in out
     assert "reports: 2 operational" in out
 
@@ -271,6 +271,98 @@ def test_analyze_stage_stats_report_selection_counters(
     out = capsys.readouterr().out
     assert "candidate selection: postings_scanned=" in out
     assert "candidates_indexed=" in out
+
+
+# ---------------------------------------------------------------------------
+# repro analyze --backend process
+# ---------------------------------------------------------------------------
+
+def test_analyze_process_backend_verify_shards(full_character, capsys):
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--batch-size", "256", "--backend", "process",
+                 "--verify-shards"]) == 0
+    out = capsys.readouterr().out
+    assert "2-shard analyzer (process backend)" in out
+    assert "EQUIVALENT" in out
+    assert "2-shard on 3000 events" in out
+
+
+def test_analyze_process_backend_stage_stats_per_shard(
+    full_character, capsys
+):
+    # No cross-process middleware: --stage-stats falls back to
+    # per-shard worker counters merged via PipelineStats.
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--no-latency", "--backend", "process",
+                 "--stage-stats", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["backend"] == "process"
+    assert "stage_seconds" not in document
+    shard_stats = document["shard_stats"]
+    assert len(shard_stats) == 2
+    total = sum(s["events_processed"] for s in shard_stats)
+    assert total == 3000
+    assert document["stats"]["events_processed"] == 3000
+
+
+def test_analyze_process_backend_json_matches_inline(
+    full_character, capsys
+):
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--no-latency", "--format", "json"]) == 0
+    inline = json.loads(capsys.readouterr().out)
+    assert main(["analyze", "--events", "3000", "--shards", "2",
+                 "--no-latency", "--backend", "process",
+                 "--format", "json"]) == 0
+    process = json.loads(capsys.readouterr().out)
+    assert inline["backend"] == "inline"
+    assert process["backend"] == "process"
+    strip = ("kind", "operations", "theta")
+    assert [
+        {k: r[k] for k in strip} for r in process["reports"]
+    ] == [
+        {k: r[k] for k in strip} for r in inline["reports"]
+    ]
+    assert process["stats"]["events_processed"] == \
+        inline["stats"]["events_processed"]
+
+
+def test_analyze_rejects_unknown_backend(full_character):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["analyze", "--events", "1000", "--backend", "threads"])
+    assert excinfo.value.code == 2
+
+
+def test_serve_rejects_unknown_backend():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--events", "1000", "--backend", "greenlet"])
+    assert excinfo.value.code == 2
+
+
+def test_scenarios_run_rejects_unknown_backend():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["scenarios", "run", "--backend", "threads"])
+    assert excinfo.value.code == 2
+
+
+def test_serve_process_backend_sessions(full_character, capsys):
+    assert main(["serve", "--events", "3000", "--tenants", "2",
+                 "--session-shards", "2", "--backend", "process",
+                 "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["exit_code"] == 0
+    assert document["session_shards"] == 2
+    assert document["backend"] == "process"
+    assert document["service"]["events_analyzed"] == 3000
+    assert document["service"]["tenants"] == 2
+
+
+def test_scenarios_run_process_backend(full_character, capsys):
+    assert main(["scenarios", "run",
+                 "--scenario", "synthetic_error_burst",
+                 "--backend", "process"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
 
 
 # ---------------------------------------------------------------------------
