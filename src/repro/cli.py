@@ -564,6 +564,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
+    import threading
     import time
 
     from repro.core.config import GretelConfig
@@ -571,8 +572,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import (
         CheckpointStore,
         StreamingService,
+        verify_async,
         verify_checkpoint,
     )
+    from repro.service.async_oracle import bucket_tenant
     from repro.workloads.traffic import SyntheticStream
 
     text_mode = args.format == "text"
@@ -582,6 +585,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return EXIT_USAGE
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return EXIT_USAGE
+    if args.pump_threads and not args.async_ingest:
+        print("--pump-threads requires --async", file=sys.stderr)
+        return EXIT_USAGE
+    if args.pump_threads < 0:
+        print("--pump-threads must be >= 0", file=sys.stderr)
         return EXIT_USAGE
 
     character = default_characterization(
@@ -609,9 +618,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         restore=args.resume,
         shards=args.session_shards,
         backend=args.backend,
+        async_ingest=args.async_ingest,
     )
     published = []
     service.on_report(
+        # list.append is atomic, so the same sink serves both routers
+        # (async-mode sinks fire on per-tenant pump threads).
         lambda tenant, report: published.append((tenant, report))
     )
     if args.resume:
@@ -623,16 +635,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def bucket(tenant: str) -> str:
         # Re-key the synthetic stream's 64 tenants into the requested
         # number of sessions (deterministic, id-stable).
-        raw = tenant.rsplit("-", 1)[-1]
-        index = int(raw) if raw.isdigit() else 0
-        return f"tenant-{index % args.tenants}"
+        return bucket_tenant(tenant, args.tenants)
 
-    started = time.perf_counter()
-    for _ in range(args.passes):
+    if args.async_ingest:
+        # Pump router: partition the stream per session bucket, then
+        # drive the front door from N concurrent producer threads —
+        # each bucket owned by exactly one producer, so per-tenant
+        # order (and the report multiset) matches the sync router.
+        buckets = {}
         for event in events:
-            service.submit(event, tenant=bucket(event.tenant))
-    service.drain()
-    elapsed = time.perf_counter() - started
+            buckets.setdefault(bucket(event.tenant), []).append(event)
+        # Create the sessions before the producers start: process-
+        # backed pools fork workers, and forking from a quiet parent
+        # is the safe order (docs/service.md).
+        for key in buckets:
+            service.session(key)
+        producers = args.pump_threads or args.tenants
+        owned = [[] for _ in range(producers)]
+        for index, item in enumerate(buckets.items()):
+            owned[index % producers].append(item)
+
+        def produce(work):
+            for key, stream_slice in work:
+                for _ in range(args.passes):
+                    for event in stream_slice:
+                        service.submit(event, tenant=key)
+
+        threads = [
+            threading.Thread(target=produce, args=(work,))
+            for work in owned if work
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service.drain()
+        elapsed = time.perf_counter() - started
+    else:
+        started = time.perf_counter()
+        for _ in range(args.passes):
+            for event in events:
+                service.submit(event, tenant=bucket(event.tenant))
+        service.drain()
+        elapsed = time.perf_counter() - started
     if store is not None:
         service.checkpoint_all()
     service.flush()
@@ -647,6 +693,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "tenants": args.tenants,
         "session_shards": args.session_shards,
         "backend": args.backend,
+        "async_ingest": args.async_ingest,
+        "pump_threads": (
+            (args.pump_threads or args.tenants)
+            if args.async_ingest else 0
+        ),
         "alpha": args.alpha,
         "queue_size": args.queue_size,
         "policy": args.policy,
@@ -659,9 +710,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ],
     }
     if text_mode:
+        router = "async pump" if args.async_ingest else "sync"
         print(f"streaming service over {count} events "
               f"({args.passes} pass(es), {args.tenants} tenant "
-              f"session(s), policy {args.policy}):")
+              f"session(s), {router} router, policy {args.policy}):")
         print(f"  drained   {count / elapsed:12,.0f} events/s "
               f"({elapsed:.3f}s)")
         for key, value in stats.to_dict().items():
@@ -670,6 +722,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"  [{tenant}] {report.summary()}")
 
     code = EXIT_OK
+    if args.verify_async:
+        async_result = verify_async(
+            events, library,
+            tenants=args.tenants,
+            producers=args.pump_threads or args.tenants,
+            config=config,
+            track_latency=not args.no_latency,
+            shards=args.session_shards,
+            backend=args.backend,
+            strict=False,
+        )
+        document["verify_async"] = async_result.to_dict()
+        if text_mode:
+            print(async_result.summary())
+        if not async_result.ok:
+            code = EXIT_FAIL
     if args.verify_checkpoint:
         result = verify_checkpoint(
             events, library, cuts=args.cuts, config=config,
@@ -999,9 +1067,22 @@ def build_parser() -> argparse.ArgumentParser:
              "(docs/parallelism.md)",
     )
     serve.add_argument(
+        "--async", dest="async_ingest", action="store_true",
+        help="async ingest router: one daemon pump thread per tenant "
+             "session drains a thread-safe bounded queue, and the "
+             "replay drives submit() from concurrent producer "
+             "threads (docs/service.md)",
+    )
+    serve.add_argument(
+        "--pump-threads", type=int, default=0,
+        help="producer threads driving the async front door "
+             "(default 0 = one per tenant session; requires --async)",
+    )
+    serve.add_argument(
         "--policy", choices=("block", "shed"), default="block",
-        help="backpressure when a session queue is full: block drains "
-             "synchronously, shed drops and counts (default block)",
+        help="backpressure when a session queue is full: block stalls "
+             "the producer (sync: drains inline; async: waits on the "
+             "pump), shed drops and counts (default block)",
     )
     serve.add_argument(
         "--checkpoint-dir", metavar="DIR",
@@ -1024,6 +1105,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verify-checkpoint", action="store_true",
         help="also run the checkpoint/kill/restore differential "
+             "oracle on this stream (exit 1 on divergence)",
+    )
+    serve.add_argument(
+        "--verify-async", action="store_true",
+        help="also run the sync-vs-async ingest-router differential "
              "oracle on this stream (exit 1 on divergence)",
     )
     serve.add_argument(

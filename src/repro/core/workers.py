@@ -10,11 +10,12 @@ turns under the GIL.  The module has two halves:
   config, catalog, metadata-store snapshot), builds its own
   ``AnalyzerShard`` locally (hydrating detector caches and the
   compiled selection index in-process), then serves commands from a
-  duplex pipe.  After every command it drains the pipeline's publish
-  log and anomaly log and ships the new
+  duplex pipe.  Exchange commands (``reap``/``flush``/``stats``/…)
+  drain the pipeline's publish log and anomaly log and ship the new
   :class:`~repro.core.reports.FaultReport` batch back with the reply,
-  so worker memory stays bounded and the parent streams reports as
-  they are produced.
+  so worker memory stays bounded and the parent streams reports at
+  chunk granularity; chunk commands are acknowledged with *empty*
+  replies — see the deadlock note below.
 * :class:`ProcessShard` — the parent-side client.  It exposes the same
   surface as an inline ``AnalyzerShard`` (``ingest_batch`` / ``flush``
   / ``process_deferred`` / ``stats`` / ``reports`` /
@@ -35,6 +36,15 @@ worker traceback).  Lifecycle robustness:
   at ``max_inflight``; once the cap is reached the parent blocks on
   the next reply, so a slow shard stalls its producer instead of
   growing an unbounded pipe buffer.
+* **Deadlock freedom** — chunk acks never carry reports.  A reply
+  batch big enough to fill the worker→parent buffer while the parent
+  is itself blocked sending the next chunk would deadlock the pair
+  (each side in a blocking ``send``, neither receiving).  Tiny acks
+  cannot fill the buffer, so the worker always returns to ``recv``
+  and the parent's ``send`` always completes; accumulated reports are
+  fetched every ``reap_every`` chunks by an explicit reap *exchange*,
+  during which the parent sends nothing else and actively receives —
+  a reply of any size drains safely.
 * **Liveness** — every reply wait polls the worker's ``is_alive`` and
   a deadline; a dead or wedged worker raises
   :class:`~repro.core.parallel.ShardWorkerError` instead of hanging.
@@ -42,6 +52,12 @@ worker traceback).  Lifecycle robustness:
   worker with a timeout and terminates it if the join expires;
   workers are daemonic, so an abandoned pool can never outlive the
   parent process.
+* **Thread safety** — the pipe protocol is strict FIFO
+  request/reply, so every protocol entry point serializes on one
+  per-shard reentrant lock.  The streaming service's per-tenant pump
+  threads each drive their own pool (the lock is uncontended there),
+  but a checkpointing thread snapshotting a pool concurrently with
+  its pump can never interleave one exchange with another.
 
 See ``docs/parallelism.md`` for the design discussion (chunking,
 seeding, rejected alternatives).
@@ -50,8 +66,10 @@ seeding, rejected alternatives).
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 import traceback
+import tracemalloc
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -67,6 +85,11 @@ from repro.openstack.wire import WireEvent
 #: Maximum unacknowledged chunk commands per shard before the parent
 #: blocks (synchronous backpressure on the producer).
 DEFAULT_MAX_INFLIGHT = 4
+
+#: Chunk commands between report-reap exchanges.  Bounds both worker
+#: report memory and parent-side report latency to this many chunks
+#: without paying a round-trip per chunk.
+DEFAULT_REAP_EVERY = 4
 
 #: Seconds to wait for one worker reply before declaring it wedged.
 REPLY_TIMEOUT = 120.0
@@ -137,6 +160,8 @@ def _dispatch(shard: AnalyzerShard, op: str, payload: Any) -> Any:
     if op == "restore":
         shard.restore_state(payload)
         return None
+    if op == "reap":
+        return None
     if op == "ping":
         return None
     raise ValueError(f"unknown worker op {op!r}")
@@ -144,6 +169,12 @@ def _dispatch(shard: AnalyzerShard, op: str, payload: Any) -> Any:
 
 def shard_worker_main(conn: Any, seed: WorkerSeed) -> None:
     """The worker process: build the shard, then serve commands."""
+    if tracemalloc.is_tracing():
+        # A forked child inherits the parent's allocation tracer.
+        # The parent profiles its own heap (session state, queues);
+        # letting the tracer run here would silently tax every
+        # analysis call instead.
+        tracemalloc.stop()
     try:
         shard = _build_shard(seed)
     except BaseException:
@@ -167,11 +198,20 @@ def shard_worker_main(conn: Any, seed: WorkerSeed) -> None:
             break
         try:
             result = _dispatch(shard, op, payload)
-            # Ship every report produced by this command and forget it
-            # locally: worker memory stays bounded by the window and
-            # the deferred queue, never by reports published.
-            reports = pipeline.publish.drain()
-            pipeline.tracker.drain_anomalies()
+            # Chunk replies are deliberately tiny acks: a big report
+            # batch attached to a chunk ack can fill the worker->parent
+            # buffer while the parent is itself blocked sending the
+            # next chunk — a bidirectional pipe deadlock.  Reports ride
+            # only on exchange ops (reap/flush/stats/...), where the
+            # parent is actively receiving and sends nothing else, and
+            # the per-``reap_every`` reap keeps worker memory bounded
+            # by the window and the deferred queue, never by reports
+            # published.
+            if op == "chunk":
+                reports = []
+            else:
+                reports = pipeline.publish.drain()
+                pipeline.tracker.drain_anomalies()
             reply = ("ok", op, result, reports)
         except BaseException:
             reply = ("error", op, traceback.format_exc(), [])
@@ -197,6 +237,7 @@ class ProcessShard:
         seed: WorkerSeed,
         *,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        reap_every: int = DEFAULT_REAP_EVERY,
         reply_timeout: float = REPLY_TIMEOUT,
         context: Any = None,
     ) -> None:
@@ -204,8 +245,19 @@ class ProcessShard:
         self.shard_id = seed.shard_id
         self.batch_size = max(1, seed.batch_size)
         self.max_inflight = max(1, max_inflight)
+        self.reap_every = max(1, reap_every)
         self.reply_timeout = reply_timeout
+        # The wire protocol is strict FIFO request/reply, so two
+        # threads interleaving commands on one pipe would corrupt the
+        # pairing (and worse, interleave one tenant's chunk stream
+        # with another's snapshot).  Every protocol entry point takes
+        # this reentrant lock; per-tenant pump threads each own their
+        # own pool, so in practice the lock is uncontended — it turns
+        # a would-be protocol corruption under misuse into simple
+        # serialization.
+        self._io = threading.RLock()
         self._inflight = 0
+        self._unreaped = 0
         self._closed = False
         self._reports: List[FaultReport] = []
         self._listeners: List[Callable[[FaultReport], None]] = []
@@ -258,6 +310,10 @@ class ProcessShard:
 
     def post(self, op: str, payload: Any = None) -> None:
         """Send one command without waiting for its reply."""
+        with self._io:
+            self._post(op, payload)
+
+    def _post(self, op: str, payload: Any = None) -> None:
         if self._closed:
             self._fail(
                 f"shard {self.shard_id} worker is closed "
@@ -278,7 +334,10 @@ class ProcessShard:
         self._inflight += 1
 
     def _reply(self) -> Any:
-        """Receive one reply (FIFO); raises on error/death/timeout."""
+        """Receive one reply (FIFO); raises on error/death/timeout.
+
+        Callers hold :attr:`_io` (all protocol entry points do).
+        """
         if self._closed:
             self._fail(f"shard {self.shard_id} worker is closed")
         deadline = time.monotonic() + self.reply_timeout
@@ -312,15 +371,22 @@ class ProcessShard:
 
     def wait(self, op: str) -> Any:
         """Absorb replies until ``op``'s arrives; returns its payload."""
-        while True:
-            got, payload = self._reply()
-            if got == op:
-                return payload
+        with self._io:
+            while True:
+                got, payload = self._reply()
+                if got == op:
+                    return payload
 
     def call(self, op: str, payload: Any = None) -> Any:
-        """Round-trip one command (absorbing earlier replies first)."""
-        self.post(op, payload)
-        return self.wait(op)
+        """Round-trip one command (absorbing earlier replies first).
+
+        The post/wait pair holds the protocol lock for its whole
+        duration, so a concurrent thread can never splice a command
+        between them.
+        """
+        with self._io:
+            self._post(op, payload)
+            return self.wait(op)
 
     # -- AnalyzerShard surface --------------------------------------------
 
@@ -328,20 +394,36 @@ class ProcessShard:
         """Ship a FIFO run of this shard's events as chunk commands.
 
         Splits into ``batch_size`` chunks, absorbs any replies already
-        waiting (keeping report latency low), and blocks once
-        ``max_inflight`` chunks are unacknowledged — synchronous
-        backpressure, so a slow worker stalls its producer instead of
-        buffering without bound.
+        waiting, and blocks once ``max_inflight`` chunks are
+        unacknowledged — synchronous backpressure, so a slow worker
+        stalls its producer instead of buffering without bound.  Chunk
+        acks carry no reports (see :func:`shard_worker_main` on why
+        that matters for deadlock freedom); every ``reap_every``
+        chunks a reap exchange collects what the worker accumulated.
         """
         total = len(chunk)
         if not total:
             return
-        for start in range(0, total, self.batch_size):
-            while self._conn.poll():
-                self._reply()
-            self.post("chunk", list(chunk[start:start + self.batch_size]))
-            while self._inflight >= self.max_inflight:
-                self._reply()
+        with self._io:
+            for start in range(0, total, self.batch_size):
+                while self._conn.poll():
+                    self._reply()
+                self._post(
+                    "chunk",
+                    list(chunk[start:start + self.batch_size]),
+                )
+                self._unreaped += 1
+                while self._inflight >= self.max_inflight:
+                    self._reply()
+            if self._unreaped >= self.reap_every:
+                # One round-trip per reap_every chunks: the wait
+                # absorbs the outstanding chunk acks (FIFO) and then
+                # the reap reply carrying the report batch — received
+                # while nothing else is being sent, so a reply of any
+                # size can never wedge the pipe.
+                self._unreaped = 0
+                self._post("reap")
+                self.wait("reap")
 
     def flush(self) -> None:
         self.call("flush")
@@ -373,7 +455,16 @@ class ProcessShard:
         return self._closed
 
     def close(self) -> None:
-        """Stop the worker; idempotent, never raises, never hangs."""
+        """Stop the worker; idempotent, never raises, never hangs.
+
+        Takes the protocol lock so the ``stop`` command cannot splice
+        into another thread's in-flight exchange (reentrant: the
+        failure path calls close while already holding it).
+        """
+        with self._io:
+            self._close()
+
+    def _close(self) -> None:
         if self._closed:
             return
         self._closed = True

@@ -3,17 +3,25 @@
 Everything below :mod:`repro.core` analyzes one finite capture and is
 discarded; this package promotes that machinery to a standing service
 (the ROADMAP's "streaming service mode"): per-tenant analyzer
-sessions (:mod:`repro.service.session`) with bounded ingest queues
-and an explicit backpressure policy, durable periodic checkpoints
+sessions (:mod:`repro.service.session`) with bounded ingest queues,
+an explicit backpressure policy and an optional per-tenant pump
+thread (the async ingest router), durable periodic checkpoints
 (:mod:`repro.service.checkpoint`) built on the core state-lifecycle
 protocol (:mod:`repro.core.state`), a service manager that keys
 sessions by tenant and restores them on start
-(:mod:`repro.service.manager`), and the differential oracle proving
-checkpoint/kill/restore changes nothing
-(:mod:`repro.service.oracle`).  ``repro serve`` drives it all over
-replayed captures; see ``docs/service.md``.
+(:mod:`repro.service.manager`), and two differential oracles: one
+proving checkpoint/kill/restore changes nothing
+(:mod:`repro.service.oracle`), one proving the pump router is
+observably the sync router (:mod:`repro.service.async_oracle`).
+``repro serve`` drives it all over replayed captures; see
+``docs/service.md``.
 """
 
+from repro.service.async_oracle import (
+    AsyncDivergence,
+    AsyncResult,
+    verify_async,
+)
 from repro.service.checkpoint import CheckpointStore
 from repro.service.manager import ServiceStats, StreamingService
 from repro.service.oracle import (
@@ -24,11 +32,14 @@ from repro.service.oracle import (
 from repro.service.session import TenantSession
 
 __all__ = [
+    "AsyncDivergence",
+    "AsyncResult",
     "CheckpointDivergence",
     "CheckpointResult",
     "CheckpointStore",
     "ServiceStats",
     "StreamingService",
     "TenantSession",
+    "verify_async",
     "verify_checkpoint",
 ]

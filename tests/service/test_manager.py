@@ -52,6 +52,41 @@ def test_checkpoint_every_validation(library):
         build_service(library, checkpoint_every=-1)
 
 
+def test_checkpoint_unknown_tenant_raises(
+    library, stream_events, tmp_path
+):
+    """checkpoint() must not conjure an empty session for a typo'd
+    tenant — unknown tenants are a KeyError, and the session table
+    stays untouched."""
+    store = CheckpointStore(tmp_path)
+    service = build_service(library, checkpoint_store=store)
+    service.submit(stream_events[0], tenant="acme")
+    service.checkpoint("acme")
+    with pytest.raises(KeyError, match="unknown tenant 'ghost'"):
+        service.checkpoint("ghost")
+    assert list(service.sessions) == ["acme"]
+    assert store.tenants() == ["acme"]
+
+
+def test_stats_split_submitted_vs_accepted(library, stream_events):
+    """Offers and acceptances are separate counters; shed is exactly
+    their difference."""
+    service = build_service(
+        library, queue_capacity=8, policy="shed",
+    )
+    for event in stream_events[:40]:
+        service.submit(event, tenant="acme")
+    stats = service.stats()
+    assert stats.events_submitted == 40
+    assert stats.events_accepted == 8
+    assert stats.events_shed == 32
+    assert service.events_submitted == 40
+    assert service.events_accepted == 8
+    document = stats.to_dict()
+    assert document["events_submitted"] == 40
+    assert document["events_accepted"] == 8
+
+
 def test_periodic_checkpoints_fire_per_tenant(library, stream_events, tmp_path):
     store = CheckpointStore(tmp_path)
     service = build_service(

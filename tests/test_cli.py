@@ -437,6 +437,39 @@ def test_serve_usage_errors(capsys):
     assert "--checkpoint-dir" in capsys.readouterr().err
     assert main(["serve", "--events", "100", "--resume"]) == 2
     assert "--checkpoint-dir" in capsys.readouterr().err
+    assert main(["serve", "--events", "100",
+                 "--pump-threads", "2"]) == 2
+    assert "--async" in capsys.readouterr().err
+    assert main(["serve", "--events", "100", "--async",
+                 "--pump-threads", "-1"]) == 2
+    assert ">= 0" in capsys.readouterr().err
+
+
+def test_serve_async_json_document(full_character, capsys):
+    assert main(["serve", "--events", "2000", "--tenants", "2",
+                 "--alpha", "64", "--no-latency", "--async",
+                 "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["exit_code"] == 0
+    assert document["async_ingest"] is True
+    assert document["pump_threads"] == 2  # default: one per tenant
+    assert document["service"]["events_accepted"] == 2000
+    assert document["service"]["events_analyzed"] == 2000
+    assert document["service"]["queued"] == 0
+    assert document["reports"]
+
+
+def test_serve_verify_async_oracle(full_character, capsys):
+    assert main(["serve", "--events", "2000", "--tenants", "2",
+                 "--alpha", "64", "--no-latency", "--async",
+                 "--pump-threads", "2", "--verify-async",
+                 "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    verdict = document["verify_async"]
+    assert verdict["ok"] is True
+    assert verdict["producers"] == 2
+    assert verdict["sync_reports"] == verdict["async_reports"]
+    assert verdict["missing"] == [] and verdict["extra"] == []
 
 
 def test_serve_json_document(full_character, capsys):
